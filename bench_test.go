@@ -1,0 +1,371 @@
+// Benchmarks regenerating the repository's experiments E1..E9 (one per
+// "table/figure"; see DESIGN.md) at benchmark-friendly sizes, plus
+// micro-benchmarks of the coding hot paths. The experiment benchmarks
+// report the quantity each theorem bounds (rounds, ratios, stall
+// fractions) via b.ReportMetric, so `go test -bench=.` both times the
+// kernels and re-checks the shapes.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/central"
+	"repro/internal/count"
+	"repro/internal/derand"
+	"repro/internal/dissem"
+	"repro/internal/dynnet"
+	"repro/internal/exp"
+	"repro/internal/forwarding"
+	"repro/internal/gf"
+	"repro/internal/graph"
+	"repro/internal/rlnc"
+	"repro/internal/stable"
+	"repro/internal/token"
+)
+
+// BenchmarkE1IndexedBroadcast times one Lemma 5.3 run (n = k = 64) and
+// reports rounds-to-decode; the theorem predicts Theta(n + k).
+func BenchmarkE1IndexedBroadcast(b *testing.B) {
+	const n, d = 64, 8
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		adv := adversary.NewRandomConnected(n, n/2, int64(i))
+		r, err := exp.RunIndexedUntilDecoded(n, n, d, adv, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = r
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(rounds)/float64(2*64), "rounds/(n+k)")
+}
+
+// BenchmarkE2SmallTokens times the E2 pair (forwarding vs coding at
+// n = k = 64) and reports the round ratio; Theorem 2.3 says it grows
+// with n.
+func BenchmarkE2SmallTokens(b *testing.B) {
+	const n, d, budget = 64, 8, 512
+	var fwd, cod int
+	for i := 0; i < b.N; i++ {
+		dist := token.OnePerNode(n, d, rand.New(rand.NewSource(int64(i))))
+		f, err := forwarding.RunPipelinedFlood(dist, n, budget, d, adversary.NewRandomConnected(n, n/2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dissem.GreedyForward(dist, dissem.Params{B: budget, D: d, Seed: int64(i)},
+			adversary.NewRandomConnected(n, n/2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwd, cod = f, res.Rounds
+	}
+	b.ReportMetric(float64(fwd), "fwd-rounds")
+	b.ReportMetric(float64(cod), "coded-rounds")
+	b.ReportMetric(float64(fwd)/float64(cod), "fwd/coded")
+}
+
+// BenchmarkE3MessageSize times greedy-forward at two budgets (n = k =
+// 64) and reports the round ratio across a 2x budget step; Theorem 2.3
+// predicts ~4x while the quadratic term dominates.
+func BenchmarkE3MessageSize(b *testing.B) {
+	const n, d = 64, 8
+	var r96, r192 int
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range []struct {
+			budget int
+			out    *int
+		}{{96, &r96}, {192, &r192}} {
+			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(int64(i))))
+			res, err := dissem.GreedyForward(dist, dissem.Params{B: cfg.budget, D: d, Seed: int64(i)},
+				adversary.NewRandomConnected(n, n/2, int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			*cfg.out = res.Rounds
+		}
+	}
+	b.ReportMetric(float64(r96), "rounds-b96")
+	b.ReportMetric(float64(r192), "rounds-b192")
+	b.ReportMetric(float64(r96)/float64(r192), "speedup-2x-b")
+}
+
+// BenchmarkE4GreedyVsPriority times both Section 7 algorithms at
+// n = k = 48, b = 256.
+func BenchmarkE4GreedyVsPriority(b *testing.B) {
+	const n, d, budget = 48, 8, 256
+	var g, p int
+	for i := 0; i < b.N; i++ {
+		dist := token.OnePerNode(n, d, rand.New(rand.NewSource(int64(i))))
+		gr, err := dissem.GreedyForward(dist, dissem.Params{B: budget, D: d, Seed: int64(i)},
+			adversary.NewRandomConnected(n, n/2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := dissem.PriorityForward(dist, dissem.Params{B: budget, D: d, Seed: int64(i)},
+			adversary.NewRandomConnected(n, n/2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, p = gr.Rounds, pr.Rounds
+	}
+	b.ReportMetric(float64(g), "greedy-rounds")
+	b.ReportMetric(float64(p), "priority-rounds")
+}
+
+// BenchmarkE5TStable times the E5 throughput kernel at T = 96 (n = 48):
+// one full share-pass-share coded broadcast from a single source, with
+// the per-window geometry of Lemma 8.1 (blocks, payload ~ T), against
+// the batched forwarding baseline on a matched token workload. Reported
+// metrics are bits delivered per round for both.
+func BenchmarkE5TStable(b *testing.B) {
+	const (
+		n, budget, T = 48, 160, 96
+		chunkBits    = 32
+		blocks       = T / 8
+		payload      = 3 * T / 8
+		kFwd, d      = 64, 8
+	)
+	geo := stable.Geometry{
+		D: 1, ChunkBits: chunkBits,
+		Chunks: (blocks + payload + chunkBits - 1) / chunkBits,
+		Blocks: blocks, Payload: payload, BuildBudget: T / 2,
+	}
+	var codThroughput, fwdThroughput float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		initial := make([][]rlnc.Coded, n)
+		for j := 0; j < blocks; j++ {
+			initial[0] = append(initial[0], rlnc.Encode(j, blocks, gf.RandomBitVec(payload, rng.Uint64)))
+		}
+		rngs := make([]*rand.Rand, n)
+		for j := range rngs {
+			rngs[j] = rand.New(rand.NewSource(int64(i*1000 + j)))
+		}
+		tadv := adversary.NewTStable(adversary.NewRandomConnected(n, n, int64(i)), T)
+		s := dynnet.NewSession(n, tadv, dynnet.Config{BitBudget: budget})
+		if _, err := stable.Broadcast(s, tadv, geo, initial, rngs, 0); err != nil {
+			b.Fatal(err)
+		}
+		codThroughput = float64(blocks*payload) / float64(s.Metrics().Rounds)
+
+		dist := token.AtOne(n, kFwd, d, rand.New(rand.NewSource(int64(i))))
+		f, err := stable.RunFlood(dist, kFwd, budget, d, T,
+			adversary.NewTStable(adversary.NewRandomConnected(n, n, int64(i)), T))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwdThroughput = float64(kFwd*(token.UIDBits+d)) / float64(f)
+	}
+	b.ReportMetric(codThroughput, "coded-bits/round")
+	b.ReportMetric(fwdThroughput, "fwd-bits/round")
+}
+
+// BenchmarkE6Gathering times the random-forward primitive (n = k = 64)
+// and reports the gathered count against Lemma 7.2's sqrt(ck).
+func BenchmarkE6Gathering(b *testing.B) {
+	const n, d, c = 64, 8, 4
+	gathered := 0
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		dist := token.OnePerNode(n, d, rng)
+		sets := make([]*token.Set, n)
+		rngs := make([]*rand.Rand, n)
+		for j := range sets {
+			sets[j] = token.NewSet()
+			for _, tk := range dist[j] {
+				sets[j].Add(tk)
+			}
+			rngs[j] = rand.New(rand.NewSource(int64(i*1000 + j)))
+		}
+		s := dynnet.NewSession(n, adversary.NewRandomConnected(n, n, int64(i)), dynnet.Config{})
+		res, err := forwarding.RandomForward(s, sets, nil, c, 4*n, rngs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gathered = res.Count
+	}
+	b.ReportMetric(float64(gathered), "gathered")
+	b.ReportMetric(16 /* sqrt(4*64) */, "lemma7.2-bound")
+}
+
+// BenchmarkE7Counting times the counting application at n = 32.
+func BenchmarkE7Counting(b *testing.B) {
+	const n, budget = 32, 1024
+	var res count.Result
+	for i := 0; i < b.N; i++ {
+		r, err := count.Run(n, budget, adversary.NewRandomConnected(n, n/2, int64(i)), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.TotalRounds), "total-rounds")
+	b.ReportMetric(float64(res.TotalRounds)/float64(res.FinalPhaseRounds), "total/final")
+}
+
+// BenchmarkE8FieldSize times the omniscient-adversary kernel over GF(2)
+// and F_257 and reports both stall fractions (Theorem 6.1's separation).
+func BenchmarkE8FieldSize(b *testing.B) {
+	const n, pe = 12, 4
+	var frac2, fracBig float64
+	for i := 0; i < b.N; i++ {
+		_, s2, r2, err := derand.RunOmniscientBroadcast(gf.GF2{}, n, pe, 20*n, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, sB, rB, err := derand.RunOmniscientBroadcast(gf.MustPrime(257), n, pe, 20*n, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac2 = float64(s2) / float64(crossingRounds(r2))
+		fracBig = float64(sB) / float64(crossingRounds(rB))
+	}
+	b.ReportMetric(frac2, "stall-frac-GF2")
+	b.ReportMetric(fracBig, "stall-frac-F257")
+}
+
+// crossingRounds guards against division by zero when the adversary
+// never needed a crossing edge.
+func crossingRounds(r int) int {
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// BenchmarkE9EndGame times the Section 5.2 end-game decode at k = 256.
+func BenchmarkE9EndGame(b *testing.B) {
+	const k, d = 256, 8
+	for i := 0; i < b.N; i++ {
+		if !exp.EndgameCodedDecodes(k, d, int64(i)) {
+			b.Fatal("end-game decode failed")
+		}
+	}
+	b.ReportMetric(1, "coded-rounds")
+	b.ReportMetric(float64(k)/2, "fwd-expected-rounds")
+}
+
+// BenchmarkE10Centralized times the Corollary 2.6 centralized coding
+// run (b = d = 8, n = k = 64) and reports rounds/n (predicted O(1)).
+func BenchmarkE10Centralized(b *testing.B) {
+	const n, d = 64, 8
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		r, err := central.Run(n, n, d, adversary.NewRandomConnected(n, n/2, int64(i)), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = r
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(rounds)/n, "rounds/n")
+}
+
+// BenchmarkAblationSecondShare measures the DESIGN.md meta-round
+// ablation: total rounds to full decode with the paper's
+// share-pass-share versus the fused share-pass pipeline.
+func BenchmarkAblationSecondShare(b *testing.B) {
+	g := graphPath24()
+	const d, blocks, payload, chunkBits = 2, 4, 16, 64
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		w, err := stable.AblationMetaRounds(g, d, blocks, payload, chunkBits, true, int64(i), 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wo, err := stable.AblationMetaRounds(g, d, blocks, payload, chunkBits, false, int64(i), 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = w, wo
+	}
+	b.ReportMetric(float64(with), "rounds-share-pass-share")
+	b.ReportMetric(float64(without), "rounds-share-pass")
+}
+
+func graphPath24() *graph.Graph { return graph.Path(24) }
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkSpanInsertGF2(b *testing.B) {
+	const k, d = 256, 256
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([]rlnc.Coded, 512)
+	for i := range vecs {
+		v := gf.RandomBitVec(k+d, rng.Uint64)
+		vecs[i] = rlnc.Coded{K: k, Vec: v}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		span := rlnc.NewSpan(k, d)
+		for _, v := range vecs {
+			span.Add(v)
+		}
+	}
+}
+
+func BenchmarkSpanDecodeGF2(b *testing.B) {
+	const k, d = 128, 128
+	rng := rand.New(rand.NewSource(2))
+	span := rlnc.NewSpan(k, d)
+	for i := 0; i < k; i++ {
+		span.Add(rlnc.Encode(i, k, gf.RandomBitVec(d, rng.Uint64)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := span.Clone().Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitVecXor(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := gf.RandomBitVec(4096, rng.Uint64)
+	y := gf.RandomBitVec(4096, rng.Uint64)
+	b.SetBytes(4096 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Xor(y)
+	}
+}
+
+func BenchmarkGF2e8Mul(b *testing.B) {
+	f := gf.MustGF2e(8)
+	acc := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = f.Mul(acc, uint64(i)&0xff|1)
+	}
+	_ = acc
+}
+
+func BenchmarkPrimeInv(b *testing.B) {
+	f := gf.MustPrime(65537)
+	acc := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += f.Inv(uint64(i)%65536 + 1)
+	}
+	_ = acc
+}
+
+func BenchmarkEngineRound(b *testing.B) {
+	const n = 128
+	nodes := make([]dynnet.Node, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range nodes {
+		nrng := rand.New(rand.NewSource(int64(i)))
+		nodes[i] = rlnc.NewBroadcastNode(n, 8, 1<<30,
+			[]rlnc.Coded{rlnc.Encode(i, n, gf.RandomBitVec(8, rng.Uint64))}, nrng)
+	}
+	e := dynnet.NewEngine(nodes, adversary.NewRandomConnected(n, n/2, 5), dynnet.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

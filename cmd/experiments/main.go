@@ -1,0 +1,68 @@
+// Command experiments regenerates the repository's experiment tables
+// E1..E9 — the measured counterparts of the paper's theorems (see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded outcomes).
+//
+// Usage:
+//
+//	experiments [-run E3] [-trials 5] [-quick] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "run a single experiment by ID (e.g. E3); default all")
+		trials = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		quick  = flag.Bool("quick", false, "shrink sweeps to quick sizes")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		asJSON = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+	)
+	flag.Parse()
+	if err := realMain(*run, *trials, *quick, *seed, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run string, trials int, quick bool, seed int64, asJSON bool) error {
+	cfg := exp.Config{Trials: trials, Quick: quick, Seed: seed}
+	suite := exp.All()
+	if run != "" {
+		e, err := exp.Find(run)
+		if err != nil {
+			return err
+		}
+		suite = []exp.Experiment{e}
+	}
+	var jsonOut []map[string]any
+	for _, e := range suite {
+		if !asJSON {
+			fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		}
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if asJSON {
+			m := tbl.MarshalTable()
+			m["id"] = e.ID
+			m["title"] = e.Title
+			jsonOut = append(jsonOut, m)
+			continue
+		}
+		fmt.Println(tbl.String())
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Faster Information
+// Dissemination in Dynamic Networks via Network Coding" (Haeupler &
+// Karger, PODC 2011). The implementation lives under internal/: the
+// dynamic network model of Kuhn, Lynch and Oshman (internal/dynnet,
+// internal/adversary), hand-rolled finite-field linear algebra
+// (internal/gf), random linear network coding and indexed broadcast
+// (internal/rlnc), the token-forwarding baselines (internal/forwarding),
+// the k-token dissemination algorithms of Section 7 (internal/dissem),
+// the T-stable machinery of Section 8 (internal/stable), the
+// derandomization results of Section 6 (internal/derand), the counting
+// application (internal/count), and the experiment harness
+// (internal/sim, internal/exp).
+//
+// The benchmark suite in bench_test.go regenerates every experiment;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured outcomes.
+package repro

@@ -1,0 +1,61 @@
+// Quickstart: network coding beats token forwarding on a dynamic
+// network.
+//
+// Sixty-four nodes each hold one 8-bit token. An adversary rewires the
+// (connected) topology every round. We disseminate all 64 tokens to all
+// nodes twice — once with the Theorem 2.1 token-forwarding baseline and
+// once with the paper's network-coded greedy-forward — and print the
+// round counts (the coding advantage grows with n; the crossover sits
+// near n = 48 at these parameters), then demonstrate the Section 5.2
+// end-game: a node missing one unknown token out of k is finished by a
+// single XOR.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/dissem"
+	"repro/internal/exp"
+	"repro/internal/forwarding"
+	"repro/internal/token"
+)
+
+func main() {
+	const (
+		n    = 64  // nodes
+		d    = 8   // token payload bits
+		b    = 512 // message budget bits
+		seed = 42
+	)
+
+	// Every node starts with one token: the canonical n-token
+	// dissemination instance (k = n).
+	dist := token.OnePerNode(n, d, rand.New(rand.NewSource(seed)))
+
+	// The adversary picks a fresh random connected topology every round.
+	fwdRounds, err := forwarding.RunPipelinedFlood(dist, n, b, d,
+		adversary.NewRandomConnected(n, n/2, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("token forwarding (Thm 2.1 baseline): %4d rounds\n", fwdRounds)
+
+	res, err := dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: seed},
+		adversary.NewRandomConnected(n, n/2, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network coding (greedy-forward):     %4d rounds, %d broadcast iteration(s)\n",
+		res.Rounds, res.Iterations)
+
+	// Section 5.2 end-game: node B has 63 of A's 64 tokens; A does not
+	// know which one is missing. One XOR of everything finishes B.
+	const k = 64
+	if exp.EndgameCodedDecodes(k, d, seed) {
+		fmt.Printf("end-game (k = %d): one XOR message completed the missing token "+
+			"(forwarding needs ~%d rounds in expectation)\n", k, k/2)
+	}
+}

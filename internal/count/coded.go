@@ -1,0 +1,142 @@
+package count
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dynnet"
+	"repro/internal/forwarding"
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// RunCoded is the counting application built on Corollary 7.1's coded
+// dissemination instead of pure flooding: each phase floods the m
+// smallest IDs to establish an indexing (as Run does) and then confirms
+// them with a network-coded indexed broadcast whose payloads are the
+// IDs themselves. For log-sized tokens the indexing flood dominates, so
+// coded counting costs the same order as flooding-based counting — the
+// paper's observation that Corollary 7.1 "cannot lead to any
+// improvement" when the tokens are themselves O(log n) bits. The
+// function exists to measure exactly that, and as a second full client
+// of the coding stack.
+func RunCoded(n, b int, adv dynnet.Adversary, seed int64) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("count: n must be >= 1")
+	}
+	perMsg := (b - token.CountBits) / token.UIDBits
+	if perMsg < 1 {
+		return Result{}, fmt.Errorf("count: budget b=%d cannot carry a node ID", b)
+	}
+	s := dynnet.NewSession(n, adv, dynnet.Config{BitBudget: b})
+
+	known := make([]map[uint64]bool, n)
+	own := make([][]uint64, n)
+	for i := range known {
+		known[i] = map[uint64]bool{uint64(i) + 1: true}
+	}
+
+	res := Result{}
+	for m := 2; ; m *= 2 {
+		res.Phases++
+		if res.Phases > 64 {
+			return Result{}, fmt.Errorf("count: estimate overflow")
+		}
+		phaseStart := s.Metrics().Rounds
+
+		// Indexing: flood the m smallest known IDs (the Corollary 7.1
+		// bottleneck).
+		for i := range own {
+			own[i] = own[i][:0]
+			for id := range known[i] {
+				own[i] = append(own[i], id)
+			}
+		}
+		ids, err := forwarding.FloodSmallestMulti(s, own, m, perMsg, token.UIDBits, m)
+		if err != nil {
+			continue // too-small estimate: flooding disagreed; double
+		}
+		// The ID coefficient header must fit alongside the 64-bit
+		// payload.
+		if len(ids) > 0 && len(ids)+token.UIDBits <= b {
+			// Coded confirmation broadcast: index i carries ID ids[i].
+			kDims := len(ids)
+			schedule := rlnc.DefaultSchedule(2*m, kDims)
+			nodes := make([]dynnet.Node, n)
+			impls := make([]*rlnc.BroadcastNode, n)
+			for i := range nodes {
+				var initial []rlnc.Coded
+				for idx, id := range ids {
+					if known[i][id] {
+						payload := gf.NewBitVec(token.UIDBits)
+						writeBits(payload, id)
+						initial = append(initial, rlnc.Encode(idx, kDims, payload))
+					}
+				}
+				rng := rand.New(rand.NewSource(seed + int64(i)*271 + 5))
+				impls[i] = rlnc.NewBroadcastNode(kDims, token.UIDBits, schedule, initial, rng)
+				nodes[i] = impls[i]
+			}
+			if err := s.RunFixed(nodes, schedule); err != nil {
+				return Result{}, err
+			}
+			// Nodes that decode merge the confirmed IDs; with m >= n the
+			// schedule guarantees this whp.
+			for i, impl := range impls {
+				payloads, err := impl.Span().Decode()
+				if err != nil {
+					continue // counts as a failed phase below
+				}
+				for _, p := range payloads {
+					known[i][readBits(p)] = true
+				}
+			}
+		}
+
+		// Verification sub-phase, as in Run.
+		counts := make([]int, n)
+		for i := range known {
+			counts[i] = len(known[i])
+		}
+		verify := make([]dynnet.Node, n)
+		impls := make([]*forwarding.MaxFloodNode, n)
+		for i := range verify {
+			impls[i] = forwarding.NewMaxFloodNode(uint64(counts[i]), 32, m)
+			verify[i] = impls[i]
+		}
+		if err := s.RunFixed(verify, m); err != nil {
+			return Result{}, err
+		}
+		failed := false
+		for i := range known {
+			if len(known[i]) != n || int(impls[i].Best()) != len(known[i]) || len(known[i]) > m {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			res.N = n
+			res.Estimate = m
+			res.FinalPhaseRounds = s.Metrics().Rounds - phaseStart
+			res.TotalRounds = s.Metrics().Rounds
+			return res, nil
+		}
+	}
+}
+
+func writeBits(v gf.BitVec, x uint64) {
+	for i := 0; i < v.Len() && i < 64; i++ {
+		v.Set(i, x>>uint(i)&1 == 1)
+	}
+}
+
+func readBits(v gf.BitVec) uint64 {
+	var x uint64
+	for i := 0; i < v.Len() && i < 64; i++ {
+		if v.Bit(i) {
+			x |= 1 << uint(i)
+		}
+	}
+	return x
+}

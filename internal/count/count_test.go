@@ -1,0 +1,104 @@
+package count
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+func TestCountAgrees(t *testing.T) {
+	const b = 1024
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 20} {
+		res, err := Run(n, b, adversary.NewRandomConnected(n, n/2, int64(n)), int64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.N != n {
+			t.Errorf("n=%d: counted %d", n, res.N)
+		}
+		if res.Estimate < n {
+			t.Errorf("n=%d: final estimate %d < n", n, res.Estimate)
+		}
+		if res.Estimate >= 4*n && n > 1 {
+			t.Errorf("n=%d: final estimate %d overshoots doubling", n, res.Estimate)
+		}
+	}
+}
+
+// TestCountGeometricOverhead is E7's claim: total rounds are within a
+// constant factor (the geometric-sum argument says about 2x) of the
+// final phase alone.
+func TestCountGeometricOverhead(t *testing.T) {
+	const n, b = 24, 1024
+	res, err := Run(n, b, adversary.NewRandomConnected(n, n, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalPhaseRounds <= 0 {
+		t.Fatal("final phase rounds not recorded")
+	}
+	ratio := float64(res.TotalRounds) / float64(res.FinalPhaseRounds)
+	if ratio > 3.0 {
+		t.Errorf("total/final ratio %.2f, geometric schedule predicts <= ~2", ratio)
+	}
+}
+
+func TestCountUnderRotatingPath(t *testing.T) {
+	const n, b = 10, 1024
+	res, err := Run(n, b, adversary.NewRotatingPath(n, 5), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Errorf("counted %d, want %d", res.N, n)
+	}
+}
+
+func TestCodedCountAgrees(t *testing.T) {
+	const b = 1024
+	for _, n := range []int{1, 4, 9, 17} {
+		res, err := RunCoded(n, b, adversary.NewRandomConnected(n, n/2, int64(n+50)), int64(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.N != n {
+			t.Errorf("n=%d: counted %d", n, res.N)
+		}
+	}
+}
+
+// TestCodedCountNoImprovementForSmallTokens is the Corollary 7.1
+// observation: for O(log n)-size tokens the flooding-based indexing
+// dominates, so coded counting is not materially cheaper than pure
+// flooding-based counting.
+func TestCodedCountNoImprovementForSmallTokens(t *testing.T) {
+	const n, b = 24, 1024
+	flood, err := Run(n, b, adversary.NewRandomConnected(n, n/2, 7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded, err := RunCoded(n, b, adversary.NewRandomConnected(n, n/2, 7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flooding: %d rounds; coded: %d rounds", flood.TotalRounds, coded.TotalRounds)
+	if coded.TotalRounds < flood.TotalRounds/2 {
+		t.Errorf("coded counting 2x faster than flooding (%d vs %d) — contradicts Cor 7.1's small-token observation",
+			coded.TotalRounds, flood.TotalRounds)
+	}
+}
+
+func TestCodedCountRejectsTinyBudget(t *testing.T) {
+	if _, err := RunCoded(4, 32, adversary.NewRandomConnected(4, 1, 1), 1); err == nil {
+		t.Error("tiny budget accepted")
+	}
+}
+
+func TestCountRejectsTinyBudget(t *testing.T) {
+	if _, err := Run(4, 32, adversary.NewRandomConnected(4, 1, 1), 1); err == nil {
+		t.Error("tiny budget accepted")
+	}
+	if _, err := Run(0, 1024, adversary.NewRandomConnected(1, 0, 1), 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package dissem implements the paper's k-token dissemination algorithms
+// (Section 7), which bridge from the indexed-broadcast primitive of
+// Lemma 5.3 to the full problem where tokens start unindexed and
+// scattered:
+//
+//   - Naive (Corollary 7.1): flood the smallest token UIDs to establish
+//     an indexing, then network-code those tokens; O((log n / d)·nkd/b).
+//   - GreedyForward (Theorem 7.3): gather tokens at one node with
+//     random-forward, then code b^2/d tokens per O(n)-round phase;
+//     O(nkd/b^2 + nb).
+//   - PriorityForward (Theorem 7.5): when gathering stalls, group tokens
+//     into blocks, select Theta(b) random blocks by flooding the lowest
+//     random priorities, and code the selected blocks.
+//
+// All drivers run as phases over a shared dynnet.Session so the round
+// and bit costs accumulate across the whole execution, and all of them
+// verify at the end that every node decoded every token.
+package dissem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dynnet"
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// Params configures a dissemination run.
+type Params struct {
+	// B is the message budget in bits (b in the paper).
+	B int
+	// D is the token payload size in bits (d in the paper).
+	D int
+	// Seed feeds all node randomness deterministically.
+	Seed int64
+	// MaxIterations caps driver loops as a safety net; 0 means a
+	// generous default derived from k.
+	MaxIterations int
+}
+
+// Result reports the cost of a dissemination run.
+type Result struct {
+	// Rounds is the total rounds across all phases.
+	Rounds int
+	// Bits is the total bits broadcast.
+	Bits int64
+	// Messages is the number of broadcasts.
+	Messages int
+	// Iterations is the number of outer-loop iterations the driver ran.
+	Iterations int
+}
+
+// state is the shared per-run bookkeeping: each node's token knowledge
+// plus the set of tokens already disseminated. Because every broadcast
+// phase delivers the same decoded tokens to every node, the broadcast
+// set is common knowledge and is kept once.
+type state struct {
+	sets        []*token.Set
+	broadcasted map[token.UID]bool
+	k           int
+	rngs        []*rand.Rand
+}
+
+func newState(dist token.Distribution, seed int64) *state {
+	st := &state{
+		sets:        make([]*token.Set, len(dist)),
+		broadcasted: make(map[token.UID]bool),
+		k:           dist.K(),
+		rngs:        make([]*rand.Rand, len(dist)),
+	}
+	for i, ts := range dist {
+		st.sets[i] = token.NewSet()
+		for _, t := range ts {
+			st.sets[i].Add(t)
+		}
+		st.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9 + 7))
+	}
+	return st
+}
+
+func (st *state) eligible(u token.UID) bool { return !st.broadcasted[u] }
+
+func (st *state) remaining() int { return st.k - len(st.broadcasted) }
+
+// deliver records that tokens were decoded by every node: they join
+// every knowledge set and the broadcast set.
+func (st *state) deliver(ts []token.Token) {
+	for _, t := range ts {
+		st.broadcasted[t.UID] = true
+		for _, set := range st.sets {
+			set.Add(t)
+		}
+	}
+}
+
+// verify checks that every node knows every token of the distribution.
+func (st *state) verify(dist token.Distribution) error {
+	want := dist.All()
+	for i, set := range st.sets {
+		for _, t := range want {
+			got, ok := set.Get(t.UID)
+			if !ok {
+				return fmt.Errorf("dissem: node %d missing token %v", i, t.UID)
+			}
+			if !got.Equal(t) {
+				return fmt.Errorf("dissem: node %d has corrupted token %v", i, t.UID)
+			}
+		}
+	}
+	return nil
+}
+
+func (p Params) maxIterations(k int) int {
+	if p.MaxIterations > 0 {
+		return p.MaxIterations
+	}
+	return 20*k + 200
+}
+
+// codedBroadcast runs one Lemma 5.3 indexed-broadcast phase over the
+// session: node i injects initial[i], everyone mixes for the schedule,
+// and each node's decoded payloads are returned (they are identical
+// whenever decoding succeeds, which the phase requires of node 0 and
+// spot-checks elsewhere).
+func codedBroadcast(
+	s *dynnet.Session,
+	st *state,
+	kDims, payloadBits int,
+	initial [][]rlnc.Coded,
+) ([]gf.BitVec, error) {
+	n := s.N()
+	schedule := rlnc.DefaultSchedule(n, kDims)
+	nodes := make([]dynnet.Node, n)
+	impls := make([]*rlnc.BroadcastNode, n)
+	for i := range nodes {
+		impls[i] = rlnc.NewBroadcastNode(kDims, payloadBits, schedule, initial[i], st.rngs[i])
+		nodes[i] = impls[i]
+	}
+	if err := s.RunFixed(nodes, schedule); err != nil {
+		return nil, err
+	}
+	var payloads []gf.BitVec
+	for i, impl := range impls {
+		p, err := impl.Span().Decode()
+		if err != nil {
+			return nil, fmt.Errorf("dissem: coded broadcast: node %d failed to decode: %w", i, err)
+		}
+		if i == 0 {
+			payloads = p
+		}
+	}
+	return payloads, nil
+}

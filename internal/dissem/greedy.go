@@ -1,0 +1,150 @@
+package dissem
+
+import (
+	"fmt"
+
+	"repro/internal/dynnet"
+	"repro/internal/forwarding"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// blockPlan fixes the block geometry Section 7 uses to beat the
+// coefficient overhead: tokens are grouped into blocks of roughly b/2
+// bits so that a message carries one coded block plus one coefficient
+// per block, i.e. numBlocks + blockBits <= b. The per-iteration
+// throughput is then m*numBlocks ~ b^2/d tokens.
+type blockPlan struct {
+	// m is the token capacity of one block.
+	m int
+	// blockBits is the wire size of one (padded) block.
+	blockBits int
+	// numBlocks is the number of blocks coded together per broadcast,
+	// which is also the coefficient dimension.
+	numBlocks int
+}
+
+// capacity returns the tokens deliverable per coded broadcast.
+func (bp blockPlan) capacity() int { return bp.m * bp.numBlocks }
+
+// planBlocks computes the geometry for budget b and token size d.
+func planBlocks(b, d int) (blockPlan, error) {
+	m := token.TokensPerBlock(b/2, d)
+	if m < 1 {
+		m = 1
+	}
+	bits := token.BlockBits(m, d)
+	numBlocks := b - bits
+	if numBlocks < 1 {
+		return blockPlan{}, fmt.Errorf("dissem: budget b=%d too small to code even one d=%d block (needs %d bits + coefficients)", b, d, bits)
+	}
+	return blockPlan{m: m, blockBits: bits, numBlocks: numBlocks}, nil
+}
+
+// usedBlocks returns the coefficient dimension for broadcasting count
+// gathered tokens: enough blocks to hold them, capped at the budget's
+// block space. All nodes can compute it because the gathered count is
+// flooded during identification.
+func (bp blockPlan) usedBlocks(count int) int {
+	if count > bp.capacity() {
+		count = bp.capacity()
+	}
+	blocks := (count + bp.m - 1) / bp.m
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// packLeaderBlocks packs up to blocks*plan.m of the leader's eligible
+// tokens into exactly blocks blocks (padding the tail with empty blocks
+// so the coefficient dimension is fixed and known to everyone).
+func packLeaderBlocks(leader *token.Set, st *state, plan blockPlan, blocks int) ([]rlnc.Coded, []token.Token, error) {
+	var chosen []token.Token
+	for _, t := range leader.Tokens() {
+		if st.eligible(t.UID) {
+			chosen = append(chosen, t)
+			if len(chosen) == blocks*plan.m {
+				break
+			}
+		}
+	}
+	initial := make([]rlnc.Coded, blocks)
+	for blk := 0; blk < blocks; blk++ {
+		lo := blk * plan.m
+		hi := lo + plan.m
+		if lo > len(chosen) {
+			lo = len(chosen)
+		}
+		if hi > len(chosen) {
+			hi = len(chosen)
+		}
+		packed, err := token.PackBlock(chosen[lo:hi], plan.m, st.d())
+		if err != nil {
+			return nil, nil, err
+		}
+		initial[blk] = rlnc.Encode(blk, blocks, packed)
+	}
+	return initial, chosen, nil
+}
+
+// d returns the payload size of the tokens in the run (uniform by
+// construction of the distributions).
+func (st *state) d() int {
+	for _, set := range st.sets {
+		for _, t := range set.Tokens() {
+			return t.D()
+		}
+	}
+	return 0
+}
+
+// GreedyForward is the Theorem 7.3 algorithm: while tokens remain,
+// gather with random-forward (O(n) rounds), identify a node with the
+// maximum count of unbroadcast tokens (n rounds), and let it broadcast
+// up to b^2/d of them in one O(n)-round network-coded indexed broadcast.
+// Total: O(nkd/b^2 + nb) rounds.
+func GreedyForward(dist token.Distribution, p Params, adv dynnet.Adversary) (Result, error) {
+	n := len(dist)
+	st := newState(dist, p.Seed)
+	s := dynnet.NewSession(n, adv, dynnet.Config{BitBudget: p.B})
+
+	plan, err := planBlocks(p.B, p.D)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := forwarding.TokensPerMessage(p.B, p.D)
+	if err != nil {
+		return Result{}, err
+	}
+
+	iters := 0
+	for st.remaining() > 0 {
+		if iters++; iters > p.maxIterations(st.k) {
+			return Result{}, fmt.Errorf("dissem: greedy exceeded %d iterations", p.maxIterations(st.k))
+		}
+		res, err := forwarding.RandomForward(s, st.sets, st.eligible, c, 2*n, st.rngs)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Count == 0 {
+			break
+		}
+		blocks := plan.usedBlocks(res.Count)
+		initial := make([][]rlnc.Coded, n)
+		leaderInit, _, err := packLeaderBlocks(st.sets[res.Identified], st, plan, blocks)
+		if err != nil {
+			return Result{}, err
+		}
+		initial[res.Identified] = leaderInit
+		if err := broadcastAndDeliver(s, st, plan, blocks, p.D, initial); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if err := st.verify(dist); err != nil {
+		return Result{}, err
+	}
+	m := s.Metrics()
+	return Result{Rounds: m.Rounds, Bits: m.Bits, Messages: m.Messages, Iterations: iters}, nil
+}

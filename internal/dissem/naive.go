@@ -1,0 +1,99 @@
+package dissem
+
+import (
+	"fmt"
+
+	"repro/internal/dynnet"
+	"repro/internal/forwarding"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// Naive is the Corollary 7.1 algorithm: nodes repeatedly flood the
+// smallest Omega(b / log n) UIDs of not-yet-broadcast tokens they know
+// (n rounds), index those tokens by their UID order, and broadcast them
+// with network-coded indexed broadcast (O(n) rounds). It needs
+// O(k log(n)/b) iterations, giving O((log n / d) · nkd/b) total — only a
+// log(n)/d factor better than forwarding, which is why Section 7 then
+// develops the gathering-based algorithms.
+func Naive(dist token.Distribution, p Params, adv dynnet.Adversary) (Result, error) {
+	n := len(dist)
+	st := newState(dist, p.Seed)
+	s := dynnet.NewSession(n, adv, dynnet.Config{BitBudget: p.B})
+
+	// g UIDs of UIDBits each per message, and g coefficients + d payload
+	// must also fit one message in the broadcast step.
+	g := (p.B - token.CountBits) / token.UIDBits
+	if g > p.B-p.D {
+		g = p.B - p.D
+	}
+	if g < 1 {
+		return Result{}, fmt.Errorf("dissem: budget b=%d too small for naive indexing with d=%d", p.B, p.D)
+	}
+
+	iters := 0
+	for st.remaining() > 0 {
+		if iters++; iters > p.maxIterations(st.k) {
+			return Result{}, fmt.Errorf("dissem: naive exceeded %d iterations", p.maxIterations(st.k))
+		}
+
+		// Phase 1: flood the g smallest eligible UIDs for n rounds.
+		nodes := make([]dynnet.Node, n)
+		impls := make([]*forwarding.SmallestFloodNode, n)
+		for i := range nodes {
+			var own []uint64
+			for _, t := range st.sets[i].Tokens() {
+				if st.eligible(t.UID) {
+					own = append(own, uint64(t.UID))
+				}
+			}
+			impls[i] = forwarding.NewSmallestFloodNode(own, g, g, token.UIDBits, n)
+			nodes[i] = impls[i]
+		}
+		if err := s.RunFixed(nodes, n); err != nil {
+			return Result{}, err
+		}
+		chosen := impls[0].Smallest()
+		for i := 1; i < n; i++ {
+			other := impls[i].Smallest()
+			if len(other) != len(chosen) {
+				return Result{}, fmt.Errorf("dissem: naive: nodes disagree on chosen UID count")
+			}
+			for j := range chosen {
+				if other[j] != chosen[j] {
+					return Result{}, fmt.Errorf("dissem: naive: nodes disagree on chosen UIDs")
+				}
+			}
+		}
+		if len(chosen) == 0 {
+			break
+		}
+
+		// Phase 2: coded indexed broadcast of the chosen tokens, indexed
+		// by their position in the (shared, sorted) chosen list.
+		kDims := len(chosen)
+		initial := make([][]rlnc.Coded, n)
+		for i := range initial {
+			for idx, u := range chosen {
+				if t, ok := st.sets[i].Get(token.UID(u)); ok {
+					initial[i] = append(initial[i], rlnc.Encode(idx, kDims, t.Payload))
+				}
+			}
+		}
+		payloads, err := codedBroadcast(s, st, kDims, p.D, initial)
+		if err != nil {
+			return Result{}, err
+		}
+		delivered := make([]token.Token, kDims)
+		for idx, u := range chosen {
+			delivered[idx] = token.Token{UID: token.UID(u), Payload: payloads[idx]}
+		}
+		st.deliver(delivered)
+	}
+
+	if err := st.verify(dist); err != nil {
+		return Result{}, err
+	}
+	m := s.Metrics()
+	return Result{Rounds: m.Rounds, Bits: m.Bits, Messages: m.Messages, Iterations: iters}, nil
+}

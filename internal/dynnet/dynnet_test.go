@@ -1,0 +1,225 @@
+package dynnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bitMsg is a message that is just a size.
+type bitMsg int
+
+func (m bitMsg) Bits() int { return int(m) }
+
+// floodNode learns a bit and rebroadcasts it; terminates after a fixed
+// number of rounds.
+type floodNode struct {
+	informed bool
+	rounds   int
+	maxRound int
+}
+
+type floodMsg struct{}
+
+func (floodMsg) Bits() int { return 1 }
+
+func (n *floodNode) Send(round int) Message {
+	if n.informed {
+		return floodMsg{}
+	}
+	return nil
+}
+
+func (n *floodNode) Receive(round int, msgs []Message) {
+	if len(msgs) > 0 {
+		n.informed = true
+	}
+	n.rounds++
+}
+
+func (n *floodNode) Done() bool { return n.rounds >= n.maxRound }
+
+type staticAdv struct{ g *graph.Graph }
+
+func (a staticAdv) Graph(int, []Node) *graph.Graph { return a.g }
+
+func TestFloodOnPathTakesDiameterRounds(t *testing.T) {
+	const n = 8
+	nodes := make([]Node, n)
+	impls := make([]*floodNode, n)
+	for i := range nodes {
+		impls[i] = &floodNode{maxRound: n}
+		nodes[i] = impls[i]
+	}
+	impls[0].informed = true
+	e := NewEngine(nodes, staticAdv{g: graph.Path(n)}, Config{BitBudget: 8})
+	rounds, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != n {
+		t.Errorf("ran %d rounds, want %d", rounds, n)
+	}
+	for i, fn := range impls {
+		if !fn.informed {
+			t.Errorf("node %d not informed after flooding", i)
+		}
+	}
+	// Node at distance d learns the bit in exactly d rounds; metrics
+	// should reflect one message per informed node per round.
+	if e.Metrics().Messages == 0 || e.Metrics().Bits == 0 {
+		t.Error("metrics not recorded")
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	nodes := []Node{&fixedSender{size: 100, life: 3}, &fixedSender{size: 5, life: 3}}
+	e := NewEngine(nodes, staticAdv{g: graph.Path(2)}, Config{BitBudget: 50})
+	_, err := e.Run()
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+type fixedSender struct {
+	size  int
+	life  int
+	round int
+}
+
+func (s *fixedSender) Send(int) Message       { return bitMsg(s.size) }
+func (s *fixedSender) Receive(int, []Message) { s.round++ }
+func (s *fixedSender) Done() bool             { return s.round >= s.life }
+
+func TestZeroBudgetDisablesEnforcement(t *testing.T) {
+	nodes := []Node{&fixedSender{size: 1 << 20, life: 1}, &fixedSender{size: 1, life: 1}}
+	e := NewEngine(nodes, staticAdv{g: graph.Path(2)}, Config{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	// A node that never terminates must trip the cap.
+	nodes := []Node{&fixedSender{size: 1, life: 1 << 30}}
+	e := NewEngine(nodes, staticAdv{g: graph.New(1)}, Config{MaxRounds: 10})
+	rounds, err := e.Run()
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Errorf("err = %v, want ErrMaxRounds", err)
+	}
+	if rounds != 10 {
+		t.Errorf("rounds = %d, want 10", rounds)
+	}
+}
+
+func TestAdversaryGraphSizeChecked(t *testing.T) {
+	nodes := []Node{&fixedSender{size: 1, life: 5}}
+	e := NewEngine(nodes, staticAdv{g: graph.New(3)}, Config{})
+	if _, err := e.Run(); err == nil {
+		t.Error("mismatched graph size not rejected")
+	}
+}
+
+func TestConnectivityValidation(t *testing.T) {
+	disc := graph.New(3)
+	disc.AddEdge(0, 1) // vertex 2 isolated
+	mk := func() []Node {
+		return []Node{
+			&fixedSender{size: 1, life: 5},
+			&fixedSender{size: 1, life: 5},
+			&fixedSender{size: 1, life: 5},
+		}
+	}
+	e := NewEngine(mk(), staticAdv{g: disc}, Config{ValidateConnectivity: true})
+	if _, err := e.Run(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+	// Without validation the same topology is tolerated.
+	e = NewEngine(mk(), staticAdv{g: disc}, Config{})
+	if _, err := e.Run(); err != nil {
+		t.Errorf("unexpected error without validation: %v", err)
+	}
+}
+
+// omniProbe records whether GraphAfterMessages saw the round's messages.
+type omniProbe struct {
+	sawMsgs bool
+}
+
+func (o *omniProbe) Graph(int, []Node) *graph.Graph { return graph.New(1) }
+
+func (o *omniProbe) GraphAfterMessages(round int, nodes []Node, msgs []Message) *graph.Graph {
+	for _, m := range msgs {
+		if m != nil {
+			o.sawMsgs = true
+		}
+	}
+	return graph.New(1)
+}
+
+func TestOmniscientOrdering(t *testing.T) {
+	probe := &omniProbe{}
+	nodes := []Node{&fixedSender{size: 1, life: 2}}
+	e := NewEngine(nodes, probe, Config{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawMsgs {
+		t.Error("omniscient adversary did not observe messages before topology choice")
+	}
+}
+
+func TestDoneNodesStaySilent(t *testing.T) {
+	done := &fixedSender{size: 1, life: 0} // immediately done
+	live := &fixedSender{size: 1, life: 2}
+	e := NewEngine([]Node{done, live}, staticAdv{g: graph.Path(2)}, Config{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// done had life 0: it must never have sent or received.
+	if done.round != 0 {
+		t.Errorf("done node received %d times, want 0", done.round)
+	}
+	if got := e.Metrics().Messages; got != 2 {
+		t.Errorf("messages = %d, want 2 (live node only)", got)
+	}
+}
+
+func TestSessionPhases(t *testing.T) {
+	const n = 4
+	s := NewSession(n, staticAdv{g: graph.Cycle(n)}, Config{BitBudget: 8})
+	mk := func(life int) []Node {
+		out := make([]Node, n)
+		for i := range out {
+			out[i] = &fixedSender{size: 2, life: life}
+		}
+		return out
+	}
+	if err := s.RunFixed(mk(1000), 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Round() != 5 {
+		t.Errorf("round = %d, want 5", s.Round())
+	}
+	if err := s.RunUntilDone(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Round() != 8 {
+		t.Errorf("round = %d, want 8", s.Round())
+	}
+	m := s.Metrics()
+	if m.Rounds != 8 || m.Messages != 8*n {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Bits != int64(8*n*2) {
+		t.Errorf("bits = %d, want %d", m.Bits, 8*n*2)
+	}
+}
+
+func TestSessionWrongSize(t *testing.T) {
+	s := NewSession(3, staticAdv{g: graph.Path(3)}, Config{})
+	if err := s.RunFixed([]Node{&fixedSender{}}, 1); err == nil {
+		t.Error("phase with wrong node count accepted")
+	}
+}

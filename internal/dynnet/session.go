@@ -1,0 +1,80 @@
+package dynnet
+
+import "fmt"
+
+// Session runs a multi-phase protocol: each phase supplies its own node
+// implementations (sharing per-node state owned by the caller) while the
+// global round counter, adversary and cost metrics carry across phases.
+// This matches the paper's algorithms, which interleave flooding phases,
+// random-forwarding phases and coded-broadcast phases on fixed round
+// schedules known to all nodes.
+type Session struct {
+	n       int
+	adv     Adversary
+	cfg     Config
+	round   int
+	metrics Metrics
+}
+
+// NewSession returns a session for n nodes against adv.
+func NewSession(n int, adv Adversary, cfg Config) *Session {
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Session{n: n, adv: adv, cfg: cfg}
+}
+
+// N returns the node count.
+func (s *Session) N() int { return s.n }
+
+// Round returns the global round counter.
+func (s *Session) Round() int { return s.round }
+
+// Metrics returns the accumulated metrics across all phases.
+func (s *Session) Metrics() Metrics { return s.metrics }
+
+// BitBudget returns the configured per-message budget.
+func (s *Session) BitBudget() int { return s.cfg.BitBudget }
+
+func (s *Session) engine(nodes []Node) *Engine {
+	e := NewEngine(nodes, s.adv, s.cfg)
+	e.round = s.round
+	return e
+}
+
+func (s *Session) absorb(e *Engine) {
+	s.round = e.round
+	s.metrics.Rounds += e.metrics.Rounds
+	s.metrics.Messages += e.metrics.Messages
+	s.metrics.Bits += e.metrics.Bits
+	if e.metrics.MaxMessageBits > s.metrics.MaxMessageBits {
+		s.metrics.MaxMessageBits = e.metrics.MaxMessageBits
+	}
+}
+
+// RunFixed runs nodes for exactly rounds rounds (a fixed-schedule phase).
+func (s *Session) RunFixed(nodes []Node, rounds int) error {
+	if len(nodes) != s.n {
+		return errPhaseSize(len(nodes), s.n)
+	}
+	e := s.engine(nodes)
+	err := e.RunRounds(rounds)
+	s.absorb(e)
+	return err
+}
+
+// RunUntilDone runs nodes until all terminate, subject to the session's
+// round cap for the phase.
+func (s *Session) RunUntilDone(nodes []Node) error {
+	if len(nodes) != s.n {
+		return errPhaseSize(len(nodes), s.n)
+	}
+	e := s.engine(nodes)
+	_, err := e.Run()
+	s.absorb(e)
+	return err
+}
+
+func errPhaseSize(got, want int) error {
+	return fmt.Errorf("dynnet: phase has %d nodes, session has %d", got, want)
+}

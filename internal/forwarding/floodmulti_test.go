@@ -1,0 +1,98 @@
+package forwarding
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/dynnet"
+)
+
+func multiSession(n int, seed int64) *dynnet.Session {
+	return dynnet.NewSession(n, adversary.NewRotatingPath(n, seed), dynnet.Config{})
+}
+
+func TestFloodSmallestMultiSelectsGlobalMinima(t *testing.T) {
+	const n = 10
+	own := make([][]uint64, n)
+	for i := range own {
+		// Node i holds values i+1 and 100+i.
+		own[i] = []uint64{uint64(i + 1), uint64(100 + i)}
+	}
+	s := multiSession(n, 1)
+	// Select 7 smallest with only 2 values per message: needs 4 phases.
+	got, err := FloodSmallestMulti(s, own, 7, 2, 32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Cost: 4 phases of n rounds.
+	if rounds := s.Metrics().Rounds; rounds != 4*n {
+		t.Errorf("rounds = %d, want %d", rounds, 4*n)
+	}
+}
+
+func TestFloodSmallestMultiExhaustsNetwork(t *testing.T) {
+	const n = 6
+	own := make([][]uint64, n)
+	own[2] = []uint64{7}
+	own[4] = []uint64{3}
+	s := multiSession(n, 2)
+	got, err := FloodSmallestMulti(s, own, 10, 4, 32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("got %v, want [3 7]", got)
+	}
+}
+
+func TestFloodSmallestMultiEmptyNetwork(t *testing.T) {
+	const n = 4
+	s := multiSession(n, 3)
+	got, err := FloodSmallestMulti(s, make([][]uint64, n), 5, 2, 32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v from empty network", got)
+	}
+}
+
+func TestFloodSmallestMultiValidation(t *testing.T) {
+	s := multiSession(4, 4)
+	if _, err := FloodSmallestMulti(s, make([][]uint64, 3), 1, 1, 32, 4); err == nil {
+		t.Error("wrong own size accepted")
+	}
+	if _, err := FloodSmallestMulti(s, make([][]uint64, 4), 1, 0, 32, 4); err == nil {
+		t.Error("perMsg=0 accepted")
+	}
+	if _, err := FloodSmallestMulti(s, make([][]uint64, 4), 1, 1, 32, 0); err == nil {
+		t.Error("phaseLen=0 accepted")
+	}
+}
+
+// TestFloodSmallestMultiDuplicateValues: the same value held by several
+// nodes must be selected once.
+func TestFloodSmallestMultiDuplicateValues(t *testing.T) {
+	const n = 5
+	own := make([][]uint64, n)
+	for i := range own {
+		own[i] = []uint64{42, uint64(50 + i)}
+	}
+	s := multiSession(n, 5)
+	got, err := FloodSmallestMulti(s, own, 3, 3, 32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 42 || got[1] != 50 || got[2] != 51 {
+		t.Fatalf("got %v, want [42 50 51]", got)
+	}
+}

@@ -1,0 +1,136 @@
+package forwarding
+
+import (
+	"math/rand"
+
+	"repro/internal/dynnet"
+	"repro/internal/token"
+)
+
+// RandomForwardNode is the random-forward primitive of Section 7: every
+// round the node broadcasts b/d tokens chosen uniformly at random from
+// those it knows (restricted to the caller's "still in consideration"
+// filter). Lemma 7.2 shows that after O(n) rounds either some node knows
+// everything or some node knows at least sqrt(bk/d) tokens.
+type RandomForwardNode struct {
+	set      *token.Set
+	eligible func(token.UID) bool
+	c        int
+	rng      *rand.Rand
+	schedule int
+	elapsed  int
+}
+
+var _ dynnet.Node = (*RandomForwardNode)(nil)
+
+// NewRandomForwardNode returns a node forwarding c random eligible
+// tokens per round for schedule rounds. The set is shared state owned by
+// the caller (dissemination drivers keep one token.Set per node across
+// phases); eligible filters which tokens are still in consideration
+// (nil means all).
+func NewRandomForwardNode(set *token.Set, eligible func(token.UID) bool, c, schedule int, rng *rand.Rand) *RandomForwardNode {
+	if eligible == nil {
+		eligible = func(token.UID) bool { return true }
+	}
+	return &RandomForwardNode{set: set, eligible: eligible, c: c, rng: rng, schedule: schedule}
+}
+
+// Send broadcasts c random eligible tokens.
+func (r *RandomForwardNode) Send(int) dynnet.Message {
+	var pool []token.Token
+	for _, t := range r.set.Tokens() {
+		if r.eligible(t.UID) {
+			pool = append(pool, t)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	r.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	m := r.c
+	if m > len(pool) {
+		m = len(pool)
+	}
+	return TokensMsg{Tokens: pool[:m]}
+}
+
+// Receive merges every heard token into the shared set.
+func (r *RandomForwardNode) Receive(_ int, msgs []dynnet.Message) {
+	for _, m := range msgs {
+		tm, ok := m.(TokensMsg)
+		if !ok {
+			continue
+		}
+		for _, t := range tm.Tokens {
+			r.set.Add(t)
+		}
+	}
+	r.elapsed++
+}
+
+// Done reports whether the schedule elapsed.
+func (r *RandomForwardNode) Done() bool { return r.elapsed >= r.schedule }
+
+// RandomForwardResult reports the outcome of one random-forward +
+// identify execution.
+type RandomForwardResult struct {
+	// Identified is the node with the maximum eligible-token count
+	// (ties to the lower ID), as agreed by flooding.
+	Identified int
+	// Count is that node's eligible-token count.
+	Count int
+}
+
+// RandomForward runs the Section 7 "random-forward" algorithm as a
+// phase of an existing session: forwardRounds rounds of random token
+// forwarding over the shared per-node sets, then n rounds of max-count
+// flooding to identify a node with the maximum eligible count. All nodes
+// agree on the result.
+func RandomForward(
+	s *dynnet.Session,
+	sets []*token.Set,
+	eligible func(token.UID) bool,
+	c, forwardRounds int,
+	rngs []*rand.Rand,
+) (RandomForwardResult, error) {
+	n := s.N()
+	nodes := make([]dynnet.Node, n)
+	for i := range nodes {
+		nodes[i] = NewRandomForwardNode(sets[i], eligible, c, forwardRounds, rngs[i])
+	}
+	if err := s.RunFixed(nodes, forwardRounds); err != nil {
+		return RandomForwardResult{}, err
+	}
+
+	counts := make([]int, n)
+	for i, set := range sets {
+		for _, t := range set.Tokens() {
+			if eligible == nil || eligible(t.UID) {
+				counts[i]++
+			}
+		}
+	}
+	id, err := IdentifyMaxCount(s, counts)
+	if err != nil {
+		return RandomForwardResult{}, err
+	}
+	return RandomForwardResult{Identified: id, Count: counts[id]}, nil
+}
+
+// IdentifyMaxCount floods (count, id) maxima for n rounds so every node
+// learns which node holds the maximum count (ties to the lowest ID); it
+// returns that node's ID.
+func IdentifyMaxCount(s *dynnet.Session, counts []int) (int, error) {
+	n := s.N()
+	nodes := make([]dynnet.Node, n)
+	impls := make([]*MaxFloodNode, n)
+	for i := range nodes {
+		impls[i] = NewMaxFloodNode(PackCountID(counts[i], i, n), 64, n)
+		nodes[i] = impls[i]
+	}
+	if err := s.RunFixed(nodes, n); err != nil {
+		return 0, err
+	}
+	_, id := UnpackCountID(impls[0].Best(), n)
+	return id, nil
+}

@@ -1,0 +1,150 @@
+package gf
+
+import "fmt"
+
+// BitMatrix maintains a set of GF(2) row vectors in row echelon form,
+// supporting incremental insertion. It is the decoder state for network
+// coding over GF(2): each received message is Reduced against the current
+// basis and inserted when it carries new information (increases the rank).
+//
+// Rows are kept ordered by their leading (lowest-index) set bit; every
+// leading bit is unique.
+type BitMatrix struct {
+	cols int
+	rows []BitVec
+	lead []int
+}
+
+// NewBitMatrix returns an empty echelon matrix with the given column count.
+func NewBitMatrix(cols int) *BitMatrix {
+	if cols < 0 {
+		panic("gf: negative BitMatrix column count")
+	}
+	return &BitMatrix{cols: cols}
+}
+
+// Cols returns the number of columns.
+func (m *BitMatrix) Cols() int { return m.cols }
+
+// Rank returns the current rank (number of stored rows).
+func (m *BitMatrix) Rank() int { return len(m.rows) }
+
+// Row returns the i-th stored row (in echelon order). The returned vector
+// is the internal storage; callers must not modify it.
+func (m *BitMatrix) Row(i int) BitVec { return m.rows[i] }
+
+// Lead returns the pivot column of the i-th stored row.
+func (m *BitMatrix) Lead(i int) int { return m.lead[i] }
+
+// Reduce eliminates v against the stored rows and returns the remainder.
+// The input is not modified; the remainder is freshly allocated.
+func (m *BitMatrix) Reduce(v BitVec) BitVec {
+	if v.Len() != m.cols {
+		panic(fmt.Sprintf("gf: BitMatrix reduce of %d-bit vector against %d columns", v.Len(), m.cols))
+	}
+	r := v.Clone()
+	m.reduceInPlace(r)
+	return r
+}
+
+func (m *BitMatrix) reduceInPlace(r BitVec) {
+	for i, row := range m.rows {
+		if r.Bit(m.lead[i]) {
+			r.Xor(row)
+		}
+	}
+}
+
+// Insert reduces v against the basis and, if the remainder is nonzero,
+// adds it as a new row. It reports whether the rank grew.
+func (m *BitMatrix) Insert(v BitVec) bool {
+	r := m.Reduce(v)
+	lb := r.LeadingBit()
+	if lb < 0 {
+		return false
+	}
+	// Insert keeping rows sorted by leading bit.
+	pos := len(m.rows)
+	for i, l := range m.lead {
+		if lb < l {
+			pos = i
+			break
+		}
+	}
+	m.rows = append(m.rows, BitVec{})
+	copy(m.rows[pos+1:], m.rows[pos:])
+	m.rows[pos] = r
+	m.lead = append(m.lead, 0)
+	copy(m.lead[pos+1:], m.lead[pos:])
+	m.lead[pos] = lb
+	return true
+}
+
+// Contains reports whether v lies in the row span.
+func (m *BitMatrix) Contains(v BitVec) bool {
+	return m.Reduce(v).IsZero()
+}
+
+// RREF back-eliminates so that each pivot column has a single set bit
+// across all rows (reduced row echelon form). After RREF, if the matrix
+// spans all k unit vectors on the first k coordinates, Row(i) directly
+// reveals coordinate block i.
+func (m *BitMatrix) RREF() {
+	for i := len(m.rows) - 1; i >= 0; i-- {
+		for j := 0; j < i; j++ {
+			if m.rows[j].Bit(m.lead[i]) {
+				m.rows[j].Xor(m.rows[i])
+			}
+		}
+	}
+}
+
+// UnitRow returns the row whose leading bit is exactly column c and which,
+// within the first prefix columns, has no other set bit. It reports
+// whether such a row exists. Call RREF first; then, for a coding matrix
+// whose first prefix columns are coefficients, UnitRow(c, prefix) is the
+// decoded vector for token c.
+func (m *BitMatrix) UnitRow(c, prefix int) (BitVec, bool) {
+	for i, l := range m.lead {
+		if l != c {
+			continue
+		}
+		row := m.rows[i]
+		for j := 0; j < prefix; j++ {
+			if j != c && row.Bit(j) {
+				return BitVec{}, false
+			}
+		}
+		return row, true
+	}
+	return BitVec{}, false
+}
+
+// SpansUnitPrefix reports whether the row span restricted to the first
+// prefix columns spans all prefix unit vectors, i.e. whether a decoder
+// can recover every one of the prefix coordinate blocks.
+func (m *BitMatrix) SpansUnitPrefix(prefix int) bool {
+	// The projection spans F_2^prefix iff there are `prefix` pivots among
+	// the first `prefix` columns.
+	pivots := 0
+	for _, l := range m.lead {
+		if l < prefix {
+			pivots++
+		}
+	}
+	return pivots == prefix
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *BitMatrix) Clone() *BitMatrix {
+	c := &BitMatrix{
+		cols: m.cols,
+		rows: make([]BitVec, len(m.rows)),
+		lead: make([]int, len(m.lead)),
+	}
+	for i, r := range m.rows {
+		c.rows[i] = r.Clone()
+	}
+	copy(c.lead, m.lead)
+	return c
+}

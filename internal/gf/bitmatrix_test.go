@@ -1,0 +1,189 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitMatrixInsertRank(t *testing.T) {
+	m := NewBitMatrix(4)
+	rows := []string{"1100", "0110", "1010", "0001"}
+	wantGrow := []bool{true, true, false, true}
+	for i, s := range rows {
+		if got := m.Insert(bvFromString(t, s)); got != wantGrow[i] {
+			t.Errorf("insert %s: grew=%v, want %v", s, got, wantGrow[i])
+		}
+	}
+	if m.Rank() != 3 {
+		t.Errorf("rank = %d, want 3", m.Rank())
+	}
+}
+
+func TestBitMatrixContains(t *testing.T) {
+	m := NewBitMatrix(5)
+	m.Insert(bvFromString(t, "11000"))
+	m.Insert(bvFromString(t, "00110"))
+	tests := []struct {
+		v    string
+		want bool
+	}{
+		{"11000", true},
+		{"00110", true},
+		{"11110", true},
+		{"00000", true},
+		{"10000", false},
+		{"00001", false},
+	}
+	for _, tt := range tests {
+		if got := m.Contains(bvFromString(t, tt.v)); got != tt.want {
+			t.Errorf("Contains(%s) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+// TestBitMatrixRankMatchesNaive compares the incremental rank against a
+// from-scratch Gaussian elimination on random instances.
+func TestBitMatrixRankMatchesNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(40)
+		nrows := rng.Intn(50)
+		raw := make([]BitVec, nrows)
+		m := NewBitMatrix(cols)
+		for i := range raw {
+			raw[i] = randBV(cols, rng)
+			m.Insert(raw[i])
+		}
+		return m.Rank() == naiveRank(raw, cols)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func naiveRank(rows []BitVec, cols int) int {
+	work := make([]BitVec, len(rows))
+	for i, r := range rows {
+		work[i] = r.Clone()
+	}
+	rank := 0
+	for c := 0; c < cols; c++ {
+		pivot := -1
+		for i := rank; i < len(work); i++ {
+			if work[i].Bit(c) {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rank], work[pivot] = work[pivot], work[rank]
+		for i := 0; i < len(work); i++ {
+			if i != rank && work[i].Bit(c) {
+				work[i].Xor(work[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// TestBitMatrixEchelonInvariant checks that stored rows always have
+// strictly increasing unique leading bits.
+func TestBitMatrixEchelonInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		cols := 1 + rng.Intn(60)
+		m := NewBitMatrix(cols)
+		for i := 0; i < 2*cols; i++ {
+			m.Insert(randBV(cols, rng))
+		}
+		prev := -1
+		for i := 0; i < m.Rank(); i++ {
+			l := m.Lead(i)
+			if l <= prev {
+				t.Fatalf("leads not strictly increasing: %d after %d", l, prev)
+			}
+			if m.Row(i).LeadingBit() != l {
+				t.Fatalf("stored lead %d != row leading bit %d", l, m.Row(i).LeadingBit())
+			}
+			prev = l
+		}
+	}
+}
+
+// TestBitMatrixDecode exercises the full coding round trip: encode k
+// payloads with unit-prefix vectors, mix them randomly, decode via RREF.
+func TestBitMatrixDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const k, d = 8, 16
+	payloads := make([]BitVec, k)
+	src := make([]BitVec, k)
+	for i := range src {
+		payloads[i] = randBV(d, rng)
+		v := NewBitVec(k + d)
+		v.Set(i, true)
+		payloads[i].CopyInto(v, k)
+		src[i] = v
+	}
+	// Feed random combinations until full rank.
+	m := NewBitMatrix(k + d)
+	for m.Rank() < k {
+		mix := NewBitVec(k + d)
+		for i := range src {
+			if rng.Intn(2) == 1 {
+				mix.Xor(src[i])
+			}
+		}
+		m.Insert(mix)
+	}
+	m.RREF()
+	if !m.SpansUnitPrefix(k) {
+		t.Fatal("full-rank matrix does not span unit prefix")
+	}
+	for i := 0; i < k; i++ {
+		row, ok := m.UnitRow(i, k)
+		if !ok {
+			t.Fatalf("no unit row for token %d", i)
+		}
+		got := row.Slice(k, k+d)
+		if !got.Equal(payloads[i]) {
+			t.Fatalf("token %d decoded wrong payload", i)
+		}
+	}
+}
+
+func TestBitMatrixSpansUnitPrefixPartial(t *testing.T) {
+	m := NewBitMatrix(6) // prefix 3 + payload 3
+	m.Insert(bvFromString(t, "100101"))
+	m.Insert(bvFromString(t, "010011"))
+	if m.SpansUnitPrefix(3) {
+		t.Error("rank-2 prefix reported as spanning 3 dims")
+	}
+	m.Insert(bvFromString(t, "111111"))
+	if !m.SpansUnitPrefix(3) {
+		t.Error("full prefix rank not detected")
+	}
+}
+
+func TestBitMatrixClone(t *testing.T) {
+	m := NewBitMatrix(4)
+	m.Insert(bvFromString(t, "1010"))
+	c := m.Clone()
+	c.Insert(bvFromString(t, "0101"))
+	if m.Rank() != 1 || c.Rank() != 2 {
+		t.Errorf("clone not independent: ranks %d, %d", m.Rank(), c.Rank())
+	}
+}
+
+func TestBitMatrixReduceDoesNotMutate(t *testing.T) {
+	m := NewBitMatrix(4)
+	m.Insert(bvFromString(t, "1100"))
+	v := bvFromString(t, "1110")
+	_ = m.Reduce(v)
+	if !v.Equal(bvFromString(t, "1110")) {
+		t.Error("Reduce mutated its input")
+	}
+}

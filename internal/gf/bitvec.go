@@ -1,0 +1,212 @@
+package gf
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitVec is a fixed-length vector over GF(2), packed 64 bits per word.
+// It is the message/vector representation used by the q = 2 coding fast
+// path: addition is word-wise XOR and a dot product is a popcount parity.
+type BitVec struct {
+	n int
+	w []uint64
+}
+
+// NewBitVec returns the zero vector of length n bits.
+func NewBitVec(n int) BitVec {
+	if n < 0 {
+		panic("gf: negative BitVec length")
+	}
+	return BitVec{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// BitVecFromBytes packs the first n bits of data (LSB-first within each
+// byte) into a BitVec of length n.
+func BitVecFromBytes(data []byte, n int) BitVec {
+	v := NewBitVec(n)
+	for i := 0; i < n; i++ {
+		if data[i/8]>>(uint(i)%8)&1 == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the vector length in bits.
+func (v BitVec) Len() int { return v.n }
+
+// Bit reports bit i.
+func (v BitVec) Bit(i int) bool {
+	v.check(i)
+	return v.w[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set sets bit i to b.
+func (v BitVec) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.w[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.w[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i.
+func (v BitVec) Flip(i int) {
+	v.check(i)
+	v.w[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+func (v BitVec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf: BitVec index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Xor adds u into v in place (v += u over GF(2)). The lengths must match.
+func (v BitVec) Xor(u BitVec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf: BitVec length mismatch %d vs %d", v.n, u.n))
+	}
+	for i, uw := range u.w {
+		v.w[i] ^= uw
+	}
+}
+
+// Dot returns the GF(2) inner product of v and u (the parity of the
+// popcount of v AND u). The lengths must match.
+func (v BitVec) Dot(u BitVec) uint64 {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf: BitVec length mismatch %d vs %d", v.n, u.n))
+	}
+	var acc uint64
+	for i, uw := range u.w {
+		acc ^= v.w[i] & uw
+	}
+	return uint64(bits.OnesCount64(acc)) & 1
+}
+
+// IsZero reports whether every bit is zero.
+func (v BitVec) IsZero() bool {
+	for _, w := range v.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LeadingBit returns the index of the first (lowest-index) set bit, or -1
+// if the vector is zero. Echelon forms in this package pivot on the
+// lowest-index bit.
+func (v BitVec) LeadingBit() int {
+	for i, w := range v.w {
+		if w != 0 {
+			b := i*64 + bits.TrailingZeros64(w)
+			if b >= v.n {
+				return -1
+			}
+			return b
+		}
+	}
+	return -1
+}
+
+// OnesCount returns the number of set bits.
+func (v BitVec) OnesCount() int {
+	c := 0
+	for _, w := range v.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of v.
+func (v BitVec) Clone() BitVec {
+	c := BitVec{n: v.n, w: make([]uint64, len(v.w))}
+	copy(c.w, v.w)
+	return c
+}
+
+// Slice copies bits [lo, hi) of v into a fresh BitVec of length hi-lo.
+func (v BitVec) Slice(lo, hi int) BitVec {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("gf: BitVec slice [%d,%d) out of range [0,%d)", lo, hi, v.n))
+	}
+	out := NewBitVec(hi - lo)
+	for i := lo; i < hi; i++ {
+		if v.Bit(i) {
+			out.Set(i-lo, true)
+		}
+	}
+	return out
+}
+
+// CopyInto copies v into bits [off, off+v.Len()) of dst.
+func (v BitVec) CopyInto(dst BitVec, off int) {
+	if off < 0 || off+v.n > dst.n {
+		panic(fmt.Sprintf("gf: BitVec copy of %d bits at offset %d into %d bits", v.n, off, dst.n))
+	}
+	for i := 0; i < v.n; i++ {
+		dst.Set(off+i, v.Bit(i))
+	}
+}
+
+// Equal reports whether v and u have identical length and bits.
+func (v BitVec) Equal(u BitVec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range v.w {
+		if w != u.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the vector packed LSB-first into ceil(n/8) bytes.
+func (v BitVec) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// String renders the vector as a bit string, lowest index first.
+func (v BitVec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// RandomBitVec returns a uniformly random vector of length n using the
+// given random word source.
+func RandomBitVec(n int, rnd func() uint64) BitVec {
+	v := NewBitVec(n)
+	for i := range v.w {
+		v.w[i] = rnd()
+	}
+	v.maskTail()
+	return v
+}
+
+// maskTail clears the unused high bits of the last word so that Equal,
+// IsZero and Dot can operate word-wise.
+func (v BitVec) maskTail() {
+	if v.n%64 != 0 && len(v.w) > 0 {
+		v.w[len(v.w)-1] &= (1 << (uint(v.n) % 64)) - 1
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (for n >= 3; smaller n degrade to a path).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree with vertex i having
+// children 2i+1 and 2i+2.
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if c := 2*i + 1; c < n {
+			g.AddEdge(i, c)
+		}
+		if c := 2*i + 2; c < n {
+			g.AddEdge(i, c)
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform-ish random spanning tree: each vertex
+// i >= 1 attaches to a uniformly random earlier vertex.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i))
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph with roughly extra additional
+// random edges on top of a random spanning tree.
+func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// RandomRegularish returns a connected graph where every vertex gets deg
+// random outgoing edge proposals (so degrees concentrate around 2*deg).
+// For deg >= 2 this is an expander with high probability, which is the
+// "easy" regime for dissemination; a spanning cycle guarantees
+// connectivity.
+func RandomRegularish(n, deg int, rng *rand.Rand) *Graph {
+	g := Cycle(n)
+	for u := 0; u < n; u++ {
+		for j := 0; j < deg; j++ {
+			g.AddEdge(u, rng.Intn(n))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph (vertex r*cols+c).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(v, v+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) *Graph {
+	n := 1 << dim
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			g.AddEdge(v, v^(1<<b))
+		}
+	}
+	return g
+}
+
+// squarishGrid returns a near-square grid on exactly n vertices: a
+// floor(sqrt(n)) x (n/rows) grid, with any remainder vertices attached
+// as a path tail so the graph stays connected on all n vertices.
+func squarishGrid(n int) *Graph {
+	rows := 1
+	for (rows+1)*(rows+1) <= n {
+		rows++
+	}
+	cols := n / rows
+	g := Grid(rows, cols)
+	// Attach any remainder vertices as a path hanging off the last cell.
+	full := rows * cols
+	if full == n {
+		return g
+	}
+	out := New(n)
+	for _, e := range g.Edges() {
+		out.AddEdge(e[0], e[1])
+	}
+	for v := full; v < n; v++ {
+		out.AddEdge(v-1, v)
+	}
+	return out
+}
+
+// Named builds one of the fixed topology families by name; it is the
+// topology flag behind cmd/dissem. Supported names: path, cycle, star,
+// complete, tree, random, expander, grid, hypercube (rounded down to a
+// power of two).
+func Named(name string, n int, rng *rand.Rand) (*Graph, error) {
+	switch name {
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "star":
+		return Star(n), nil
+	case "complete":
+		return Complete(n), nil
+	case "tree":
+		return BinaryTree(n), nil
+	case "random":
+		return RandomConnected(n, n, rng), nil
+	case "expander":
+		return RandomRegularish(n, 3, rng), nil
+	case "grid":
+		return squarishGrid(n), nil
+	case "hypercube":
+		dim := 0
+		for 1<<(dim+1) <= n {
+			dim++
+		}
+		return Hypercube(dim), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown topology %q", name)
+	}
+}

@@ -1,0 +1,318 @@
+// Package graph provides the static-graph machinery the dynamic network
+// model is built from: adjacency structures, generators for the topologies
+// adversaries serve, BFS primitives, graph powers, Luby's maximal
+// independent set, and the patch decomposition of Section 8.1 of the paper.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]int
+	has map[edge]struct{}
+}
+
+type edge struct{ u, v int }
+
+func normEdge(u, v int) edge {
+	if u > v {
+		u, v = v, u
+	}
+	return edge{u: u, v: v}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		has: make(map[edge]struct{}),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.has) }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.checkVertex(u)
+	g.checkVertex(v)
+	e := normEdge(u, v)
+	if _, ok := g.has[e]; ok {
+		return
+	}
+	g.has[e] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	_, ok := g.has[normEdge(u, v)]
+	return ok
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is
+// internal storage; callers must not modify it.
+func (g *Graph) Neighbors(u int) []int {
+	g.checkVertex(u)
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int {
+	g.checkVertex(u)
+	return len(g.adj[u])
+}
+
+func (g *Graph) checkVertex(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.has {
+		c.AddEdge(e.u, e.v)
+	}
+	return c
+}
+
+// Edges returns all edges in a deterministic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.has))
+	for e := range g.has {
+		out = append(out, [2]int{e.u, e.v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// BFS returns the distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	g.checkVertex(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether g is connected. The empty graph and the
+// one-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest finite BFS distance over all sources, or
+// -1 if the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for s := 0; s < g.n; s++ {
+		for _, d := range g.BFS(s) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Power returns the D-th power of g: vertices are adjacent iff their
+// distance in g is between 1 and D.
+func (g *Graph) Power(d int) *Graph {
+	if d < 1 {
+		panic("graph: power must be >= 1")
+	}
+	p := New(g.n)
+	for s := 0; s < g.n; s++ {
+		for v, dist := range g.BFS(s) {
+			if dist >= 1 && dist <= d && v > s {
+				p.AddEdge(s, v)
+			}
+		}
+	}
+	return p
+}
+
+// BFSTree returns the parent of every vertex in a BFS tree rooted at
+// root (parent[root] = -1; unreachable vertices also get -1). Ties are
+// broken toward the lowest-numbered parent, matching the paper's
+// "lowest ID node the broadcast was received from".
+func (g *Graph) BFSTree(root int) []int {
+	g.checkVertex(root)
+	parent := make([]int, g.n)
+	dist := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		// Visit neighbours in sorted order for deterministic low-ID parents.
+		nb := append([]int(nil), g.adj[u]...)
+		sort.Ints(nb)
+		for _, v := range nb {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// MIS returns a maximal independent set computed by Luby's randomized
+// permutation algorithm: repeatedly add the vertex whose random priority
+// beats all its active neighbours, then deactivate its neighbourhood.
+func (g *Graph) MIS(rng *rand.Rand) []int {
+	active := make([]bool, g.n)
+	for i := range active {
+		active[i] = true
+	}
+	inMIS := make([]bool, g.n)
+	remaining := g.n
+	for remaining > 0 {
+		prio := make([]float64, g.n)
+		for i := range prio {
+			prio[i] = rng.Float64()
+		}
+		// A vertex joins when its priority is a strict local maximum among
+		// active closed-neighbourhood rivals.
+		var join []int
+		for u := 0; u < g.n; u++ {
+			if !active[u] {
+				continue
+			}
+			best := true
+			for _, v := range g.adj[u] {
+				if active[v] && (prio[v] > prio[u] || (prio[v] == prio[u] && v < u)) {
+					best = false
+					break
+				}
+			}
+			if best {
+				join = append(join, u)
+			}
+		}
+		for _, u := range join {
+			if !active[u] {
+				continue
+			}
+			inMIS[u] = true
+			active[u] = false
+			remaining--
+			for _, v := range g.adj[u] {
+				if active[v] {
+					active[v] = false
+					remaining--
+				}
+			}
+		}
+	}
+	var out []int
+	for u, in := range inMIS {
+		if in {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// IsIndependentSet reports whether no two vertices of set are adjacent.
+func (g *Graph) IsIndependentSet(set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, u := range set {
+		in[u] = true
+	}
+	for e := range g.has {
+		if in[e.u] && in[e.v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether set is independent and every
+// vertex outside it has a neighbour inside it.
+func (g *Graph) IsMaximalIndependentSet(set []int) bool {
+	if !g.IsIndependentSet(set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, u := range set {
+		in[u] = true
+	}
+	for u := 0; u < g.n; u++ {
+		if in[u] {
+			continue
+		}
+		covered := false
+		for _, v := range g.adj[u] {
+			if in[v] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

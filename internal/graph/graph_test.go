@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Error("degree wrong")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantEdges int
+		wantDiam  int
+	}{
+		{"path5", Path(5), 4, 4},
+		{"cycle5", Cycle(5), 5, 2},
+		{"cycle2", Cycle(2), 1, 1},
+		{"star6", Star(6), 5, 2},
+		{"complete4", Complete(4), 6, 1},
+		{"tree7", BinaryTree(7), 6, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.M(); got != tt.wantEdges {
+				t.Errorf("edges = %d, want %d", got, tt.wantEdges)
+			}
+			if !tt.g.IsConnected() {
+				t.Error("not connected")
+			}
+			if got := tt.g.Diameter(); got != tt.wantDiam {
+				t.Errorf("diameter = %d, want %d", got, tt.wantDiam)
+			}
+		})
+	}
+}
+
+func TestRandomGeneratorsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 50} {
+		if !RandomTree(n, rng).IsConnected() {
+			t.Errorf("RandomTree(%d) disconnected", n)
+		}
+		if !RandomConnected(n, n/2, rng).IsConnected() {
+			t.Errorf("RandomConnected(%d) disconnected", n)
+		}
+		if n >= 3 && !RandomRegularish(n, 3, rng).IsConnected() {
+			t.Errorf("RandomRegularish(%d) disconnected", n)
+		}
+	}
+}
+
+func TestRandomTreeEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 5, 40} {
+		g := RandomTree(n, rng)
+		want := n - 1
+		if n == 0 {
+			want = 0
+		}
+		if g.M() != want {
+			t.Errorf("RandomTree(%d) has %d edges, want %d", n, g.M(), want)
+		}
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := Path(6)
+	dist := g.BFS(2)
+	want := []int{2, 1, 0, 1, 2, 3}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	dist := g.BFS(0)
+	if dist[2] != -1 {
+		t.Errorf("unreachable vertex has dist %d, want -1", dist[2])
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Error("diameter of disconnected graph should be -1")
+	}
+}
+
+func TestPower(t *testing.T) {
+	g := Path(5)
+	p2 := g.Power(2)
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}}
+	if p2.M() != len(wantEdges) {
+		t.Fatalf("P^2 of path has %d edges, want %d", p2.M(), len(wantEdges))
+	}
+	for _, e := range wantEdges {
+		if !p2.HasEdge(e[0], e[1]) {
+			t.Errorf("P^2 missing edge %v", e)
+		}
+	}
+	// Power >= diameter gives the complete graph.
+	pAll := g.Power(4)
+	if pAll.M() != 10 {
+		t.Errorf("P^4 of path-5 has %d edges, want 10 (complete)", pAll.M())
+	}
+}
+
+func TestBFSTree(t *testing.T) {
+	g := Cycle(6)
+	parent := g.BFSTree(0)
+	if parent[0] != -1 {
+		t.Error("root should have parent -1")
+	}
+	// Every non-root vertex must have a parent strictly closer to the root.
+	dist := g.BFS(0)
+	for v := 1; v < 6; v++ {
+		p := parent[v]
+		if p < 0 {
+			t.Fatalf("vertex %d has no parent", v)
+		}
+		if dist[p] != dist[v]-1 {
+			t.Errorf("vertex %d: parent %d not one step closer", v, p)
+		}
+	}
+}
+
+// TestMISProperties checks Luby's output is a maximal independent set on
+// random graphs.
+func TestMISProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := RandomConnected(n, rng.Intn(2*n), rng)
+		mis := g.MIS(rng)
+		return g.IsMaximalIndependentSet(mis)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMISCompleteGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mis := Complete(10).MIS(rng)
+	if len(mis) != 1 {
+		t.Errorf("MIS of K_10 has size %d, want 1", len(mis))
+	}
+}
+
+func TestMISEmptyEdgeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mis := New(7).MIS(rng)
+	if len(mis) != 7 {
+		t.Errorf("MIS of edgeless graph has size %d, want 7", len(mis))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.M() != 17 {
+		t.Errorf("M = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid disconnected")
+	}
+	if got, want := g.Diameter(), 2+3; got != want {
+		t.Errorf("diameter = %d, want %d", got, want)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 16*4/2 {
+		t.Errorf("M = %d, want 32", g.M())
+	}
+	for v := 0; v < 16; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestSquarishGridAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for n := 1; n <= 40; n++ {
+		g, err := Named("grid", n, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Errorf("n=%d: got %d vertices", n, g.N())
+		}
+		if n > 1 && !g.IsConnected() {
+			t.Errorf("n=%d: disconnected", n)
+		}
+	}
+}
+
+func TestNamed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"path", "cycle", "star", "complete", "tree", "random", "expander", "grid"} {
+		g, err := Named(name, 12, rng)
+		if err != nil {
+			t.Errorf("Named(%q): %v", name, err)
+			continue
+		}
+		if g.N() != 12 || !g.IsConnected() {
+			t.Errorf("Named(%q): n=%d connected=%v", name, g.N(), g.IsConnected())
+		}
+	}
+	if _, err := Named("nope", 5, rng); err == nil {
+		t.Error("Named(nope) should fail")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 1)
+	want := [][2]int{{0, 2}, {1, 2}, {1, 3}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Path(3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("clone shares storage with original")
+	}
+}

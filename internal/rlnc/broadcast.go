@@ -1,0 +1,108 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dynnet"
+	"repro/internal/gf"
+)
+
+// BroadcastNode is the k-indexed-broadcast algorithm of Lemma 5.3 as a
+// dynnet.Node: every round it broadcasts a fresh random linear
+// combination of everything received so far and inserts whatever it
+// hears. It runs for a fixed schedule of rounds — the paper's algorithms
+// are Las Vegas with deterministic stopping schedules of Theta(n + k)
+// rounds — after which the caller decodes.
+type BroadcastNode struct {
+	span     *Span
+	rng      *rand.Rand
+	schedule int
+	elapsed  int
+}
+
+var _ dynnet.Node = (*BroadcastNode)(nil)
+
+// NewBroadcastNode returns a node for k tokens with payloadBits payload,
+// holding the given initial coded vectors (one per token it starts
+// with), running for schedule rounds.
+func NewBroadcastNode(k, payloadBits, schedule int, initial []Coded, rng *rand.Rand) *BroadcastNode {
+	n := &BroadcastNode{
+		span:     NewSpan(k, payloadBits),
+		rng:      rng,
+		schedule: schedule,
+	}
+	for _, c := range initial {
+		n.span.Add(c)
+	}
+	return n
+}
+
+// Span exposes the node's coding state (used by decoders and the
+// adaptive adversaries that inspect node knowledge).
+func (n *BroadcastNode) Span() *Span { return n.span }
+
+// Send broadcasts a random combination of the received subspace, or
+// nothing if the node has heard nothing yet.
+func (n *BroadcastNode) Send(int) dynnet.Message {
+	c, ok := n.span.Combine(n.rng)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// Receive inserts every received combination into the span.
+func (n *BroadcastNode) Receive(_ int, msgs []dynnet.Message) {
+	for _, m := range msgs {
+		c, ok := m.(Coded)
+		if !ok {
+			continue
+		}
+		n.span.Add(c)
+	}
+	n.elapsed++
+}
+
+// Done reports whether the schedule has elapsed.
+func (n *BroadcastNode) Done() bool { return n.elapsed >= n.schedule }
+
+// DefaultSchedule returns the Theta(n + k) stopping schedule used by
+// Lemma 5.3. The constant is an implementation artifact; correctness is
+// checked by the tests, which fail if the schedule is too aggressive.
+func DefaultSchedule(n, k int) int { return 4*(n+k) + 16 }
+
+// RunIndexedBroadcast wires up one complete Lemma 5.3 execution: node i
+// starts with the coded vectors initial[i], all nodes run the schedule
+// against the adversary, and every node must decode all k payloads.
+// It returns the rounds executed and each node's k decoded payloads.
+func RunIndexedBroadcast(
+	initial [][]Coded,
+	k, payloadBits, schedule int,
+	adv dynnet.Adversary,
+	budget int,
+	seed int64,
+) (int, [][]gf.BitVec, error) {
+	nNodes := len(initial)
+	nodes := make([]dynnet.Node, nNodes)
+	impls := make([]*BroadcastNode, nNodes)
+	for i := range nodes {
+		rng := rand.New(rand.NewSource(seed + int64(i)*1664525 + 1013904223))
+		impls[i] = NewBroadcastNode(k, payloadBits, schedule, initial[i], rng)
+		nodes[i] = impls[i]
+	}
+	e := dynnet.NewEngine(nodes, adv, dynnet.Config{BitBudget: budget, MaxRounds: 4 * schedule})
+	rounds, err := e.Run()
+	if err != nil {
+		return rounds, nil, err
+	}
+	decoded := make([][]gf.BitVec, nNodes)
+	for i, impl := range impls {
+		payloads, err := impl.Span().Decode()
+		if err != nil {
+			return rounds, nil, fmt.Errorf("rlnc: node %d: %w", i, err)
+		}
+		decoded[i] = payloads
+	}
+	return rounds, decoded, nil
+}

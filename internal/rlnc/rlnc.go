@@ -1,0 +1,186 @@
+// Package rlnc implements the paper's core contribution: random linear
+// network coding for information dissemination in dynamic networks
+// (Section 5). Tokens are interpreted as vectors over a finite field;
+// instead of forwarding tokens, nodes broadcast random linear
+// combinations of every vector they have received, prefixed by the
+// combination's coefficient vector. A node that has gathered a
+// full-rank set of combinations recovers all tokens by Gaussian
+// elimination.
+//
+// The package provides the GF(2) fast path (coefficients are single
+// bits, combining is XOR) used by almost all of the paper's algorithms,
+// a general-field variant used by the derandomization experiments of
+// Section 6, and the indexed-broadcast node of Lemma 5.3.
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf"
+)
+
+// Coded is a network-coded message over GF(2): the concatenation of a
+// k-bit coefficient vector and a payload. It is also the vector
+// representation stored by spans.
+type Coded struct {
+	// K is the coefficient dimension (number of tokens coded together).
+	K int
+	// Vec is the full (K + payload)-bit vector; bits [0,K) are the
+	// coefficients, the rest is the coded payload.
+	Vec gf.BitVec
+}
+
+// Bits returns the wire size: one bit per coefficient plus the payload.
+func (c Coded) Bits() int { return c.Vec.Len() }
+
+// PayloadBits returns the payload length.
+func (c Coded) PayloadBits() int { return c.Vec.Len() - c.K }
+
+// Coeff returns a copy of the coefficient prefix.
+func (c Coded) Coeff() gf.BitVec { return c.Vec.Slice(0, c.K) }
+
+// Payload returns a copy of the payload suffix.
+func (c Coded) Payload() gf.BitVec { return c.Vec.Slice(c.K, c.Vec.Len()) }
+
+// Encode builds the initial coded vector for token index i of k: the
+// i-th unit coefficient vector concatenated with the payload
+// ("we concatenate the ith basis vector e_i to t_i").
+func Encode(i, k int, payload gf.BitVec) Coded {
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("rlnc: token index %d out of range [0,%d)", i, k))
+	}
+	v := gf.NewBitVec(k + payload.Len())
+	v.Set(i, true)
+	payload.CopyInto(v, k)
+	return Coded{K: k, Vec: v}
+}
+
+// Span is a node's coding state over GF(2): the row space of every coded
+// message received so far, kept in echelon form. The paper's node state
+// is exactly this subspace ("the message only depends on ... the subspace
+// spanned by the received vectors").
+type Span struct {
+	k       int
+	payload int
+	mat     *gf.BitMatrix
+}
+
+// NewSpan returns an empty span for k coefficients and payloadBits of
+// payload.
+func NewSpan(k, payloadBits int) *Span {
+	return &Span{k: k, payload: payloadBits, mat: gf.NewBitMatrix(k + payloadBits)}
+}
+
+// K returns the coefficient dimension.
+func (s *Span) K() int { return s.k }
+
+// PayloadBits returns the payload length.
+func (s *Span) PayloadBits() int { return s.payload }
+
+// Rank returns the dimension of the received subspace.
+func (s *Span) Rank() int { return s.mat.Rank() }
+
+// Add inserts a coded message, reporting whether it increased the rank
+// (carried new information).
+func (s *Span) Add(c Coded) bool {
+	if c.K != s.k || c.Vec.Len() != s.k+s.payload {
+		panic(fmt.Sprintf("rlnc: message dims (k=%d,len=%d) do not match span (k=%d,len=%d)",
+			c.K, c.Vec.Len(), s.k, s.k+s.payload))
+	}
+	return s.mat.Insert(c.Vec)
+}
+
+// Combine returns a uniformly random linear combination of the span
+// (equivalently, of all received vectors — they generate the same
+// subspace, and the sensing lemma only depends on the subspace). It
+// returns false if the span is empty, in which case the node stays
+// silent.
+func (s *Span) Combine(rng *rand.Rand) (Coded, bool) {
+	r := s.mat.Rank()
+	if r == 0 {
+		return Coded{}, false
+	}
+	v := gf.NewBitVec(s.k + s.payload)
+	for i := 0; i < r; i++ {
+		if rng.Intn(2) == 1 {
+			v.Xor(s.mat.Row(i))
+		}
+	}
+	return Coded{K: s.k, Vec: v}, true
+}
+
+// Senses reports Definition 5.1: whether the node has received a vector
+// whose coefficient part is not orthogonal to mu. Because sensing only
+// depends on the received subspace, it is evaluated on the basis.
+func (s *Span) Senses(mu gf.BitVec) bool {
+	if mu.Len() != s.k {
+		panic(fmt.Sprintf("rlnc: sensing vector has %d bits, want k=%d", mu.Len(), s.k))
+	}
+	for i := 0; i < s.mat.Rank(); i++ {
+		if s.mat.Row(i).Slice(0, s.k).Dot(mu) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanDecode reports whether all k tokens are recoverable, i.e. the
+// coefficient projection of the span has full rank k.
+func (s *Span) CanDecode() bool { return s.mat.SpansUnitPrefix(s.k) }
+
+// Decode recovers all k payloads by reduced row echelon form. It fails
+// if the span does not yet have full coefficient rank.
+func (s *Span) Decode() ([]gf.BitVec, error) {
+	if !s.CanDecode() {
+		return nil, fmt.Errorf("rlnc: rank %d of %d, cannot decode", s.Rank(), s.k)
+	}
+	m := s.mat.Clone()
+	m.RREF()
+	out := make([]gf.BitVec, s.k)
+	for i := 0; i < s.k; i++ {
+		row, ok := m.UnitRow(i, s.k)
+		if !ok {
+			return nil, fmt.Errorf("rlnc: internal: no unit row for index %d after RREF", i)
+		}
+		out[i] = row.Slice(s.k, s.k+s.payload)
+	}
+	return out, nil
+}
+
+// DecodablePayload returns the payload of token i if it is already
+// recoverable from the current span (possible before full rank: any
+// basis vector whose coefficient part reduces to exactly e_i reveals
+// token i). This is the early-decoding behaviour real RLNC
+// implementations expose; the paper's algorithms only use full decodes.
+func (s *Span) DecodablePayload(i int) (gf.BitVec, bool) {
+	if i < 0 || i >= s.k {
+		return gf.BitVec{}, false
+	}
+	m := s.mat.Clone()
+	m.RREF()
+	row, ok := m.UnitRow(i, s.k)
+	if !ok {
+		return gf.BitVec{}, false
+	}
+	return row.Slice(s.k, s.k+s.payload), true
+}
+
+// DecodableCount returns how many token indices are currently
+// recoverable.
+func (s *Span) DecodableCount() int {
+	m := s.mat.Clone()
+	m.RREF()
+	count := 0
+	for i := 0; i < s.k; i++ {
+		if _, ok := m.UnitRow(i, s.k); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// Clone returns an independent copy of the span.
+func (s *Span) Clone() *Span {
+	return &Span{k: s.k, payload: s.payload, mat: s.mat.Clone()}
+}

@@ -1,0 +1,249 @@
+package rlnc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf"
+)
+
+func TestEncodeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := gf.RandomBitVec(10, rng.Uint64)
+	c := Encode(2, 5, payload)
+	if c.Bits() != 15 {
+		t.Errorf("Bits = %d, want 15", c.Bits())
+	}
+	if c.PayloadBits() != 10 {
+		t.Errorf("PayloadBits = %d, want 10", c.PayloadBits())
+	}
+	coeff := c.Coeff()
+	for i := 0; i < 5; i++ {
+		if coeff.Bit(i) != (i == 2) {
+			t.Errorf("coeff bit %d = %v", i, coeff.Bit(i))
+		}
+	}
+	if !c.Payload().Equal(payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestEncodePanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Encode(5, 5, gf.NewBitVec(4))
+}
+
+func TestSpanRankAndDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const k, d = 6, 12
+	payloads := make([]gf.BitVec, k)
+	s := NewSpan(k, d)
+	for i := range payloads {
+		payloads[i] = gf.RandomBitVec(d, rng.Uint64)
+		s.Add(Encode(i, k, payloads[i]))
+	}
+	if s.Rank() != k {
+		t.Fatalf("rank = %d, want %d", s.Rank(), k)
+	}
+	if !s.CanDecode() {
+		t.Fatal("cannot decode at full rank")
+	}
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if !got[i].Equal(payloads[i]) {
+			t.Errorf("payload %d mismatch", i)
+		}
+	}
+}
+
+func TestSpanDecodeFailsBelowRank(t *testing.T) {
+	s := NewSpan(3, 4)
+	s.Add(Encode(0, 3, gf.NewBitVec(4)))
+	if s.CanDecode() {
+		t.Error("CanDecode with rank 1 of 3")
+	}
+	if _, err := s.Decode(); err == nil {
+		t.Error("Decode should fail below full rank")
+	}
+}
+
+// TestDecodeFromRandomCombinations is the core coding property: mixing
+// random combinations of combinations still decodes.
+func TestDecodeFromRandomCombinations(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		d := 1 + rng.Intn(20)
+		payloads := make([]gf.BitVec, k)
+		source := NewSpan(k, d)
+		for i := range payloads {
+			payloads[i] = gf.RandomBitVec(d, rng.Uint64)
+			source.Add(Encode(i, k, payloads[i]))
+		}
+		// A second node hears only random combinations.
+		sink := NewSpan(k, d)
+		for tries := 0; tries < 100*k && !sink.CanDecode(); tries++ {
+			c, ok := source.Combine(rng)
+			if !ok {
+				return false
+			}
+			sink.Add(c)
+		}
+		got, err := sink.Decode()
+		if err != nil {
+			return false
+		}
+		for i := range payloads {
+			if !got[i].Equal(payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSensingLemma statistically verifies Lemma 5.2: if a node senses mu
+// and generates a message, the recipient senses mu with probability at
+// least 1 - 1/q = 1/2 over GF(2).
+func TestSensingLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k, d = 8, 8
+	const trials = 4000
+	passed := 0
+	for trial := 0; trial < trials; trial++ {
+		// Build a random nonempty span and a mu it senses.
+		s := NewSpan(k, d)
+		for i := 0; i < 1+rng.Intn(k); i++ {
+			s.Add(Encode(rng.Intn(k), k, gf.RandomBitVec(d, rng.Uint64)))
+		}
+		var mu gf.BitVec
+		for {
+			mu = gf.RandomBitVec(k, rng.Uint64)
+			if !mu.IsZero() && s.Senses(mu) {
+				break
+			}
+		}
+		c, ok := s.Combine(rng)
+		if !ok {
+			t.Fatal("empty span")
+		}
+		if c.Coeff().Dot(mu) == 1 {
+			passed++
+		}
+	}
+	// Expect >= 1/2; allow statistical slack.
+	if frac := float64(passed) / trials; frac < 0.45 {
+		t.Errorf("sensing transfer rate %.3f < 0.45 (lemma predicts >= 0.5)", frac)
+	}
+}
+
+func TestSensesMonotoneUnderAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k, d = 6, 6
+	s := NewSpan(k, d)
+	s.Add(Encode(0, k, gf.RandomBitVec(d, rng.Uint64)))
+	mu := gf.NewBitVec(k)
+	mu.Set(0, true)
+	if !s.Senses(mu) {
+		t.Fatal("span with e_0 must sense e_0")
+	}
+	for i := 0; i < 20; i++ {
+		s.Add(Encode(rng.Intn(k), k, gf.RandomBitVec(d, rng.Uint64)))
+		if !s.Senses(mu) {
+			t.Fatal("sensing is monotone; lost after Add")
+		}
+	}
+}
+
+func TestSensesRequiresCoefficientOverlap(t *testing.T) {
+	const k, d = 4, 4
+	s := NewSpan(k, d)
+	s.Add(Encode(1, k, gf.NewBitVec(d)))
+	mu := gf.NewBitVec(k)
+	mu.Set(0, true) // e_0 is orthogonal to e_1
+	if s.Senses(mu) {
+		t.Error("span {e_1} must not sense e_0")
+	}
+}
+
+func TestCombineEmptySpan(t *testing.T) {
+	s := NewSpan(3, 3)
+	if _, ok := s.Combine(rand.New(rand.NewSource(5))); ok {
+		t.Error("empty span produced a combination")
+	}
+}
+
+func TestSpanAddDimensionMismatchPanics(t *testing.T) {
+	s := NewSpan(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Add(Encode(0, 4, gf.NewBitVec(2)))
+}
+
+func TestPartialDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k, d = 4, 8
+	s := NewSpan(k, d)
+	p0 := gf.RandomBitVec(d, rng.Uint64)
+	p1 := gf.RandomBitVec(d, rng.Uint64)
+	s.Add(Encode(0, k, p0))
+	if got := s.DecodableCount(); got != 1 {
+		t.Errorf("DecodableCount = %d, want 1", got)
+	}
+	got, ok := s.DecodablePayload(0)
+	if !ok || !got.Equal(p0) {
+		t.Error("token 0 not decodable from its own unit vector")
+	}
+	if _, ok := s.DecodablePayload(1); ok {
+		t.Error("token 1 decodable without information")
+	}
+	// A mixed vector e1+e2 reveals neither individually.
+	mix := Encode(1, k, p1)
+	v2 := Encode(2, k, gf.RandomBitVec(d, rng.Uint64))
+	mixed := mix.Vec.Clone()
+	mixed.Xor(v2.Vec)
+	s.Add(Coded{K: k, Vec: mixed})
+	if _, ok := s.DecodablePayload(1); ok {
+		t.Error("token 1 decodable from a 2-mix")
+	}
+	// Adding e2 alone untangles the mix: token 1 becomes decodable.
+	s.Add(v2)
+	got1, ok := s.DecodablePayload(1)
+	if !ok || !got1.Equal(p1) {
+		t.Error("token 1 not decodable after untangling")
+	}
+	if got := s.DecodableCount(); got != 3 {
+		t.Errorf("DecodableCount = %d, want 3", got)
+	}
+	if _, ok := s.DecodablePayload(-1); ok {
+		t.Error("negative index decodable")
+	}
+	if _, ok := s.DecodablePayload(k); ok {
+		t.Error("out-of-range index decodable")
+	}
+}
+
+func TestSpanCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewSpan(4, 4)
+	s.Add(Encode(0, 4, gf.RandomBitVec(4, rng.Uint64)))
+	c := s.Clone()
+	c.Add(Encode(1, 4, gf.RandomBitVec(4, rng.Uint64)))
+	if s.Rank() != 1 || c.Rank() != 2 {
+		t.Error("clone not independent")
+	}
+}

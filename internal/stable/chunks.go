@@ -1,0 +1,47 @@
+package stable
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// splitChunks cuts v into ceil(len/chunkBits) pieces of chunkBits bits
+// (the last padded implicitly by Slice semantics: it is shorter).
+func splitChunks(v gf.BitVec, chunkBits int) []gf.BitVec {
+	if chunkBits < 1 {
+		panic("stable: chunkBits must be >= 1")
+	}
+	var out []gf.BitVec
+	for lo := 0; lo < v.Len(); lo += chunkBits {
+		hi := lo + chunkBits
+		if hi > v.Len() {
+			hi = v.Len()
+		}
+		out = append(out, v.Slice(lo, hi))
+	}
+	return out
+}
+
+// joinChunks reassembles chunks produced by splitChunks into a vector of
+// total bits.
+func joinChunks(chunks []gf.BitVec, total int) (gf.BitVec, error) {
+	v := gf.NewBitVec(total)
+	off := 0
+	for _, c := range chunks {
+		if off+c.Len() > total {
+			return gf.BitVec{}, fmt.Errorf("stable: chunks exceed %d bits", total)
+		}
+		c.CopyInto(v, off)
+		off += c.Len()
+	}
+	if off != total {
+		return gf.BitVec{}, fmt.Errorf("stable: chunks cover %d of %d bits", off, total)
+	}
+	return v, nil
+}
+
+// numChunks returns how many chunks a vector of total bits needs.
+func numChunks(total, chunkBits int) int {
+	return (total + chunkBits - 1) / chunkBits
+}

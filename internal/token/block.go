@@ -1,0 +1,95 @@
+package token
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Block packing: Section 7 groups many d-bit tokens into larger
+// "meta-tokens" so that fewer coding coefficients are needed. A block's
+// wire format is a count field followed by count (UID, payload) records;
+// blocks padded with zero records unpack to fewer tokens.
+
+// CountBits is the size of the per-block token-count field.
+const CountBits = 16
+
+// BlockBits returns the wire size of a block holding cap tokens of
+// payload size d.
+func BlockBits(capTokens, d int) int {
+	return CountBits + capTokens*(UIDBits+d)
+}
+
+// TokensPerBlock returns how many (UID+payload) records of payload size d
+// fit in a block of at most maxBits, at least 0.
+func TokensPerBlock(maxBits, d int) int {
+	per := UIDBits + d
+	m := (maxBits - CountBits) / per
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// PackBlock serializes up to capTokens tokens (all of payload size d)
+// into a BitVec of exactly BlockBits(capTokens, d) bits.
+func PackBlock(ts []Token, capTokens, d int) (gf.BitVec, error) {
+	if len(ts) > capTokens {
+		return gf.BitVec{}, fmt.Errorf("token: %d tokens exceed block capacity %d", len(ts), capTokens)
+	}
+	if len(ts) >= 1<<CountBits {
+		return gf.BitVec{}, fmt.Errorf("token: %d tokens exceed count field", len(ts))
+	}
+	out := gf.NewBitVec(BlockBits(capTokens, d))
+	writeUint(out, 0, CountBits, uint64(len(ts)))
+	off := CountBits
+	for _, t := range ts {
+		if t.D() != d {
+			return gf.BitVec{}, fmt.Errorf("token: payload size %d in block of d=%d", t.D(), d)
+		}
+		writeUint(out, off, UIDBits, uint64(t.UID))
+		off += UIDBits
+		t.Payload.CopyInto(out, off)
+		off += d
+	}
+	return out, nil
+}
+
+// UnpackBlock parses a block produced by PackBlock with the same
+// capacity and payload size.
+func UnpackBlock(v gf.BitVec, capTokens, d int) ([]Token, error) {
+	want := BlockBits(capTokens, d)
+	if v.Len() != want {
+		return nil, fmt.Errorf("token: block is %d bits, want %d", v.Len(), want)
+	}
+	count := int(readUint(v, 0, CountBits))
+	if count > capTokens {
+		return nil, fmt.Errorf("token: block claims %d tokens, capacity %d", count, capTokens)
+	}
+	out := make([]Token, 0, count)
+	off := CountBits
+	for i := 0; i < count; i++ {
+		uid := UID(readUint(v, off, UIDBits))
+		off += UIDBits
+		payload := v.Slice(off, off+d)
+		off += d
+		out = append(out, Token{UID: uid, Payload: payload})
+	}
+	return out, nil
+}
+
+func writeUint(v gf.BitVec, off, bits int, x uint64) {
+	for i := 0; i < bits; i++ {
+		v.Set(off+i, x>>uint(i)&1 == 1)
+	}
+}
+
+func readUint(v gf.BitVec, off, bits int) uint64 {
+	var x uint64
+	for i := 0; i < bits; i++ {
+		if v.Bit(off + i) {
+			x |= 1 << uint(i)
+		}
+	}
+	return x
+}

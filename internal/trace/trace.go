@@ -1,0 +1,195 @@
+// Package trace records the round-by-round spreading dynamics of a run
+// through the dynnet Observer hook: per-round rank distributions for
+// coding nodes, knowledge-set sizes for forwarding nodes, message
+// counts and innovation rates. It powers cmd/spread's visualization and
+// the diagnostic assertions in tests (e.g. "rank growth is monotone",
+// "most receptions are innovative early and wasted late" — the
+// Section 5.2 phenomenon that motivates coding).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dynnet"
+	"repro/internal/graph"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// Sample is one round's aggregate state.
+type Sample struct {
+	// Round is the engine's round number.
+	Round int
+	// Messages is the number of non-nil broadcasts this round.
+	Messages int
+	// Edges is the topology's edge count.
+	Edges int
+	// MinKnown, MeanKnown and MaxKnown summarize per-node knowledge:
+	// span rank for coding nodes, token-set size for forwarding nodes.
+	MinKnown  int
+	MeanKnown float64
+	MaxKnown  int
+	// Complete counts nodes at full knowledge (rank k / all tokens),
+	// when the target is known.
+	Complete int
+}
+
+// Recorder is a dynnet.Observer that snapshots knowledge per round.
+type Recorder struct {
+	// Target is the full-knowledge threshold (k); 0 disables Complete.
+	Target  int
+	samples []Sample
+}
+
+var _ dynnet.Observer = (*Recorder)(nil)
+
+// NewRecorder returns a recorder with the given full-knowledge target.
+func NewRecorder(target int) *Recorder { return &Recorder{Target: target} }
+
+// ObserveRound implements dynnet.Observer.
+func (r *Recorder) ObserveRound(round int, g *graph.Graph, msgs []dynnet.Message, nodes []dynnet.Node) {
+	s := Sample{Round: round, Edges: g.M(), MinKnown: 1 << 30}
+	total := 0
+	counted := 0
+	for _, m := range msgs {
+		if m != nil {
+			s.Messages++
+		}
+	}
+	for _, n := range nodes {
+		known, ok := knowledge(n)
+		if !ok {
+			continue
+		}
+		counted++
+		total += known
+		if known < s.MinKnown {
+			s.MinKnown = known
+		}
+		if known > s.MaxKnown {
+			s.MaxKnown = known
+		}
+		if r.Target > 0 && known >= r.Target {
+			s.Complete++
+		}
+	}
+	if counted > 0 {
+		s.MeanKnown = float64(total) / float64(counted)
+	} else {
+		s.MinKnown = 0
+	}
+	r.samples = append(r.samples, s)
+}
+
+// knowledge extracts a node's knowledge measure when its type is known.
+func knowledge(n dynnet.Node) (int, bool) {
+	switch v := n.(type) {
+	case *rlnc.BroadcastNode:
+		return v.Span().Rank(), true
+	case interface{ Set() *token.Set }:
+		return v.Set().Len(), true
+	default:
+		return 0, false
+	}
+}
+
+// Samples returns the recorded per-round samples.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// CompletionRound returns the first round at which every observed node
+// reached the target, or -1.
+func (r *Recorder) CompletionRound() (int, bool) {
+	for _, s := range r.samples {
+		if r.Target > 0 && s.MinKnown >= r.Target {
+			return s.Round, true
+		}
+	}
+	return -1, false
+}
+
+// InnovationCurve returns, per round, the increase of the mean knowledge
+// — the fraction of communication that carried new information. Its
+// early-high late-low shape is the "wasted broadcasts" phenomenon of
+// Section 5.2.
+func (r *Recorder) InnovationCurve() []float64 {
+	out := make([]float64, 0, len(r.samples))
+	prev := 0.0
+	for i, s := range r.samples {
+		if i > 0 {
+			out = append(out, s.MeanKnown-prev)
+		}
+		prev = s.MeanKnown
+	}
+	return out
+}
+
+// Sparkline renders values as a unicode bar chart for terminal output.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	// Downsample to width buckets by averaging.
+	bucketed := make([]float64, 0, width)
+	per := float64(len(values)) / float64(width)
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < len(values); i = int(float64(i) + per) {
+		hi := int(float64(i) + per)
+		if hi > len(values) {
+			hi = len(values)
+		}
+		if hi <= i {
+			hi = i + 1
+		}
+		sum := 0.0
+		for _, v := range values[i:hi] {
+			sum += v
+		}
+		bucketed = append(bucketed, sum/float64(hi-i))
+		if len(bucketed) == width {
+			break
+		}
+	}
+	lo, hi := bucketed[0], bucketed[0]
+	for _, v := range bucketed {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range bucketed {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(bars)-1))
+		}
+		sb.WriteRune(bars[idx])
+	}
+	return sb.String()
+}
+
+// Report renders a human-readable summary of the recorded run.
+func (r *Recorder) Report() string {
+	if len(r.samples) == 0 {
+		return "trace: no samples recorded\n"
+	}
+	var sb strings.Builder
+	last := r.samples[len(r.samples)-1]
+	fmt.Fprintf(&sb, "rounds observed: %d, final knowledge min/mean/max: %d/%.1f/%d\n",
+		len(r.samples), last.MinKnown, last.MeanKnown, last.MaxKnown)
+	if round, ok := r.CompletionRound(); ok {
+		fmt.Fprintf(&sb, "all nodes complete at round %d\n", round)
+	}
+	means := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		means[i] = s.MeanKnown
+	}
+	fmt.Fprintf(&sb, "mean knowledge:  %s\n", Sparkline(means, 60))
+	fmt.Fprintf(&sb, "innovation rate: %s\n", Sparkline(r.InnovationCurve(), 60))
+	return sb.String()
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/dynnet"
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+)
+
+// runRecorded executes a small coded broadcast with a recorder attached.
+func runRecorded(t *testing.T, n int) *Recorder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]dynnet.Node, n)
+	const d = 8
+	schedule := rlnc.DefaultSchedule(n, n)
+	for i := 0; i < n; i++ {
+		nrng := rand.New(rand.NewSource(int64(i + 10)))
+		nodes[i] = rlnc.NewBroadcastNode(n, d, schedule,
+			[]rlnc.Coded{rlnc.Encode(i, n, gf.RandomBitVec(d, rng.Uint64))}, nrng)
+	}
+	rec := NewRecorder(n)
+	e := dynnet.NewEngine(nodes, adversary.NewRandomConnected(n, n/2, 2),
+		dynnet.Config{Observer: rec})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderSamplesEveryRound(t *testing.T) {
+	rec := runRecorded(t, 12)
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, s := range samples {
+		if s.Round != i {
+			t.Fatalf("sample %d has round %d", i, s.Round)
+		}
+		if s.MaxKnown < s.MinKnown {
+			t.Fatalf("round %d: max < min", i)
+		}
+		if s.Edges < 11 {
+			t.Fatalf("round %d: %d edges for a connected 12-node graph", i, s.Edges)
+		}
+	}
+}
+
+// TestKnowledgeMonotone asserts rank never decreases — the span is
+// monotone, so the recorded mean must be too.
+func TestKnowledgeMonotone(t *testing.T) {
+	rec := runRecorded(t, 12)
+	prev := 0.0
+	for _, s := range rec.Samples() {
+		if s.MeanKnown+1e-9 < prev {
+			t.Fatalf("mean knowledge decreased: %f -> %f", prev, s.MeanKnown)
+		}
+		prev = s.MeanKnown
+	}
+}
+
+func TestCompletionRound(t *testing.T) {
+	rec := runRecorded(t, 12)
+	round, ok := rec.CompletionRound()
+	if !ok {
+		t.Fatal("run never completed")
+	}
+	if round <= 0 || round > 4*(12+12)+16 {
+		t.Errorf("completion round %d out of range", round)
+	}
+	last := rec.Samples()[len(rec.Samples())-1]
+	if last.Complete != 12 {
+		t.Errorf("final complete count %d, want 12", last.Complete)
+	}
+}
+
+// TestInnovationDecays checks the Section 5.2 shape: the first half of
+// the run carries at least as much innovation as the second half.
+func TestInnovationDecays(t *testing.T) {
+	rec := runRecorded(t, 16)
+	curve := rec.InnovationCurve()
+	if len(curve) < 4 {
+		t.Skip("run too short")
+	}
+	half := len(curve) / 2
+	first, second := 0.0, 0.0
+	for i, v := range curve {
+		if i < half {
+			first += v
+		} else {
+			second += v
+		}
+	}
+	if first < second {
+		t.Errorf("innovation grew over time: first=%.2f second=%.2f", first, second)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		width  int
+		want   int // rune count
+	}{
+		{"empty", nil, 10, 0},
+		{"flat", []float64{1, 1, 1}, 3, 3},
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7}, 8, 8},
+		{"downsample", make([]float64, 100), 10, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Sparkline(tt.values, tt.width)
+			if n := len([]rune(got)); n != tt.want {
+				t.Errorf("rune count = %d, want %d (%q)", n, tt.want, got)
+			}
+		})
+	}
+	// A ramp must end on the tallest bar.
+	ramp := Sparkline([]float64{0, 1, 2, 3}, 4)
+	if !strings.HasSuffix(ramp, "█") {
+		t.Errorf("ramp %q does not end at full height", ramp)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	rec := runRecorded(t, 8)
+	rep := rec.Report()
+	for _, want := range []string{"rounds observed", "complete at round", "mean knowledge", "innovation rate"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if empty := NewRecorder(0).Report(); !strings.Contains(empty, "no samples") {
+		t.Error("empty recorder report wrong")
+	}
+}

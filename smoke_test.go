@@ -1,0 +1,38 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/dissem"
+	"repro/internal/exp"
+	"repro/internal/token"
+)
+
+// TestSmokeHeadlineResult is the repository's one-look sanity check: on
+// a fully dynamic network, network-coded dissemination self-verifies
+// and beats the token-forwarding baseline at n = 64 (the regime past
+// the measured crossover), and the Section 5.2 end-game decodes from a
+// single XOR.
+func TestSmokeHeadlineResult(t *testing.T) {
+	const n, d, b = 64, 8, 512
+	dist := token.OnePerNode(n, d, rand.New(rand.NewSource(1)))
+
+	res, err := dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: 1},
+		adversary.NewRandomConnected(n, n/2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 2.1 baseline cost at these parameters: ceil(k/c)*n with
+	// c = floor((b-16)/(64+8)) = 6 tokens per message.
+	fwdRounds := (n + 5) / 6 * n
+	if res.Rounds >= fwdRounds {
+		t.Errorf("coding (%d rounds) did not beat forwarding (%d rounds) at n = %d",
+			res.Rounds, fwdRounds, n)
+	}
+
+	if !exp.EndgameCodedDecodes(64, d, 1) {
+		t.Error("end-game XOR decode failed")
+	}
+}
