@@ -1,4 +1,4 @@
-// Benchmarks regenerating the repository's experiments E1..E9 (one per
+// Benchmarks regenerating the repository's experiments E1..E10 (one per
 // "table/figure"; see DESIGN.md) at benchmark-friendly sizes, plus
 // micro-benchmarks of the coding hot paths. The experiment benchmarks
 // report the quantity each theorem bounds (rounds, ratios, stall
@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/gf"
 	"repro/internal/graph"
 	"repro/internal/rlnc"
+	"repro/internal/sim"
 	"repro/internal/stable"
 	"repro/internal/token"
 )
@@ -287,6 +289,35 @@ func BenchmarkAblationSecondShare(b *testing.B) {
 
 func graphPath24() *graph.Graph { return graph.Path(24) }
 
+// e1Kernel is the seeded E1 trial used by the sweep-engine benchmarks.
+func e1Kernel(seed int64) (float64, error) {
+	const n, d = 48, 8
+	adv := adversary.NewRandomConnected(n, n/2, seed)
+	r, err := exp.RunIndexedUntilDecoded(n, n, d, adv, seed)
+	return float64(r), err
+}
+
+// BenchmarkTrialSweepSerial times an 8-seed E1 sweep through the serial
+// sim.Trials path; BenchmarkTrialSweepParallel runs the identical sweep
+// through sim.ParallelTrials on all cores. Both produce bit-identical
+// Summaries; the ratio of their ns/op is the experiment-engine speedup.
+func BenchmarkTrialSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Trials(8, e1Kernel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialSweepParallel(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ParallelTrials(ctx, sim.ParallelConfig{}, 8, e1Kernel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- micro-benchmarks of the hot paths ---
 
 func BenchmarkSpanInsertGF2(b *testing.B) {
@@ -317,6 +348,54 @@ func BenchmarkSpanDecodeGF2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := span.Clone().Decode(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpanDecodableCount measures the early-decoding progress query
+// used by traces and experiment loops: a near-full-rank span (k = d =
+// 128, rank k-1) asked how many tokens are currently recoverable.
+func BenchmarkSpanDecodableCount(b *testing.B) {
+	const k, d = 128, 128
+	rng := rand.New(rand.NewSource(5))
+	span := rlnc.NewSpan(k, d)
+	src := make([]rlnc.Coded, k)
+	for i := range src {
+		src[i] = rlnc.Encode(i, k, gf.RandomBitVec(d, rng.Uint64))
+	}
+	for span.Rank() < k-1 {
+		mix := gf.NewBitVec(k + d)
+		for i := range src {
+			if rng.Intn(2) == 1 {
+				mix.Xor(src[i].Vec)
+			}
+		}
+		span.Add(rlnc.Coded{K: k, Vec: mix})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		count = span.DecodableCount()
+	}
+	b.ReportMetric(float64(count), "decodable")
+}
+
+// BenchmarkBitMatrixInsert measures raw echelon-insert throughput: 256
+// random 512-bit vectors inserted into a fresh matrix per iteration.
+func BenchmarkBitMatrixInsert(b *testing.B) {
+	const cols, nvecs = 512, 256
+	rng := rand.New(rand.NewSource(6))
+	vecs := make([]gf.BitVec, nvecs)
+	for i := range vecs {
+		vecs[i] = gf.RandomBitVec(cols, rng.Uint64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := gf.NewBitMatrix(cols)
+		for _, v := range vecs {
+			m.Insert(v)
 		}
 	}
 }

@@ -1,38 +1,55 @@
 // Command experiments regenerates the repository's experiment tables
-// E1..E9 — the measured counterparts of the paper's theorems (see
-// DESIGN.md for the index and EXPERIMENTS.md for recorded outcomes).
+// E1..E10 — the measured counterparts of the paper's theorems (see
+// DESIGN.md for the index).
+//
+// Trials within each sweep run on a worker pool; results are
+// bit-identical at every worker count. Ctrl-C cancels cleanly.
 //
 // Usage:
 //
-//	experiments [-run E3] [-trials 5] [-quick] [-seed 1]
+//	experiments [-run E3] [-trials 5] [-quick] [-seed 1] [-workers 0] [-progress]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/exp"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "run a single experiment by ID (e.g. E3); default all")
-		trials = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
-		quick  = flag.Bool("quick", false, "shrink sweeps to quick sizes")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		asJSON = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+		run      = flag.String("run", "", "run a single experiment by ID (e.g. E3); default all")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		quick    = flag.Bool("quick", false, "shrink sweeps to quick sizes")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		asJSON   = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+		workers  = flag.Int("workers", 0, "trial worker pool width (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "print per-sweep trial progress to stderr")
 	)
 	flag.Parse()
-	if err := realMain(*run, *trials, *quick, *seed, *asJSON); err != nil {
+	if err := realMain(*run, *trials, *quick, *seed, *asJSON, *workers, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run string, trials int, quick bool, seed int64, asJSON bool) error {
-	cfg := exp.Config{Trials: trials, Quick: quick, Seed: seed}
+func realMain(run string, trials int, quick bool, seed int64, asJSON bool, workers int, progress bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := exp.Config{Trials: trials, Quick: quick, Seed: seed, Workers: workers, Ctx: ctx}
+	if progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	suite := exp.All()
 	if run != "" {
 		e, err := exp.Find(run)

@@ -12,6 +12,6 @@
 // (internal/sim, internal/exp).
 //
 // The benchmark suite in bench_test.go regenerates every experiment;
-// see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured outcomes.
+// see DESIGN.md for the experiment index and implementation notes, and
+// CHANGES.md for the per-change measurement log.
 package repro

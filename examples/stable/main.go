@@ -12,7 +12,7 @@
 // This example runs one full coded broadcast per T from a single source
 // and prints the delivered bits, the rounds, and the capacity the full
 // window geometry would support. The asymptotic T^2-vs-T crossover lies
-// in the paper's bT^2 <~ n regime (see EXPERIMENTS.md E5); what is
+// in the paper's bT^2 <~ n regime (see DESIGN.md, E5); what is
 // visible at laptop scale is the quadratically growing capacity and the
 // whp-correct pipeline.
 package main

@@ -141,14 +141,17 @@ func codedBroadcast(
 	if err := s.RunFixed(nodes, schedule); err != nil {
 		return nil, err
 	}
-	var payloads []gf.BitVec
-	for i, impl := range impls {
-		p, err := impl.Span().Decode()
-		if err != nil {
-			return nil, fmt.Errorf("dissem: coded broadcast: node %d failed to decode: %w", i, err)
-		}
-		if i == 0 {
-			payloads = p
+	// Node 0's payloads are the phase output; the other nodes only need
+	// the full-coefficient-rank check (CanDecode guarantees Decode
+	// succeeds), which avoids materializing n*k payload copies.
+	payloads, err := impls[0].Span().Decode()
+	if err != nil {
+		return nil, fmt.Errorf("dissem: coded broadcast: node 0 failed to decode: %w", err)
+	}
+	for i := 1; i < len(impls); i++ {
+		if !impls[i].Span().CanDecode() {
+			return nil, fmt.Errorf("dissem: coded broadcast: node %d failed to decode: rank %d of %d",
+				i, impls[i].Span().Rank(), kDims)
 		}
 	}
 	return payloads, nil

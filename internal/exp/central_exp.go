@@ -24,7 +24,7 @@ func E10(cfg Config) (*sim.Table, error) {
 	var xs, ys []float64
 	for _, n := range ns {
 		n := n
-		got, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		got, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			r, err := central.Run(n, n, d, adversary.NewRandomConnected(n, n/2, cfg.Seed+seed), cfg.Seed+seed)
 			return float64(r), err
 		})

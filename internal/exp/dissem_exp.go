@@ -31,7 +31,7 @@ func E2(cfg Config) (*sim.Table, error) {
 	grew := true
 	for i, n := range ns {
 		n := n
-		fwd, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		fwd, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
 			r, err := forwarding.RunPipelinedFlood(dist, n, b, d, adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
 			return float64(r), err
@@ -39,7 +39,7 @@ func E2(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cod, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		cod, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
 			res, err := dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
 				adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
@@ -78,7 +78,7 @@ func E3(cfg Config) (*sim.Table, error) {
 	var xs, yf, yc []float64
 	for _, b := range bs {
 		b := b
-		fwd, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		fwd, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
 			r, err := forwarding.RunPipelinedFlood(dist, n, b, d, adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
 			return float64(r), err
@@ -86,17 +86,16 @@ func E3(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		iters := 0
-		cod, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		runs, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (dissem.Result, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
-			res, err := dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
+			return dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
 				adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
-			iters = res.Iterations
-			return float64(res.Rounds), err
 		})
 		if err != nil {
 			return nil, err
 		}
+		cod := sim.Summarize(roundsOf(runs))
+		iters := runs[len(runs)-1].Iterations
 		t.AddRow(sim.I(b), sim.F(fwd.Mean), sim.F(cod.Mean), sim.I(iters))
 		xs = append(xs, float64(b))
 		yf = append(yf, fwd.Mean)
@@ -134,27 +133,25 @@ func E4(cfg Config) (*sim.Table, error) {
 	}
 	for _, b := range bs {
 		b := b
-		var gIters, pIters int
-		g, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		gRuns, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (dissem.Result, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
-			res, err := dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
+			return dissem.GreedyForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
 				adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
-			gIters = res.Iterations
-			return float64(res.Rounds), err
 		})
 		if err != nil {
 			return nil, err
 		}
-		p, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		pRuns, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (dissem.Result, error) {
 			dist := token.OnePerNode(n, d, rand.New(rand.NewSource(cfg.Seed+seed)))
-			res, err := dissem.PriorityForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
+			return dissem.PriorityForward(dist, dissem.Params{B: b, D: d, Seed: cfg.Seed + seed},
 				adversary.NewRandomConnected(n, n/2, cfg.Seed+seed))
-			pIters = res.Iterations
-			return float64(res.Rounds), err
 		})
 		if err != nil {
 			return nil, err
 		}
+		g, p := sim.Summarize(roundsOf(gRuns)), sim.Summarize(roundsOf(pRuns))
+		gIters := gRuns[len(gRuns)-1].Iterations
+		pIters := pRuns[len(pRuns)-1].Iterations
 		t.AddRow(sim.I(b), sim.F(g.Mean), sim.I(gIters), sim.F(p.Mean), sim.I(pIters))
 	}
 	t.AddNote("Thm 7.3 vs 7.5: priority trades the +nb gathering tail for an indexing log factor;")
@@ -188,8 +185,7 @@ func E6(cfg Config) (*sim.Table, error) {
 		for _, fr := range fractions {
 			n, fr := n, fr
 			rounds := n * fr.num / fr.den
-			var minGather float64 = math.Inf(1)
-			got, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+			got, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 				rng := rand.New(rand.NewSource(cfg.Seed + seed))
 				dist := token.OnePerNode(n, d, rng)
 				sets := make([]*token.Set, n)
@@ -206,15 +202,13 @@ func E6(cfg Config) (*sim.Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				if float64(res.Count) < minGather {
-					minGather = float64(res.Count)
-				}
 				return float64(res.Count), nil
 			})
 			if err != nil {
 				return nil, err
 			}
 			bound := math.Sqrt(float64(c * n))
+			minGather := got.Min
 			ok := minGather >= bound
 			if !ok {
 				allOK = false
@@ -231,4 +225,14 @@ func boolStr(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// roundsOf projects the Rounds field of seed-ordered dissemination runs
+// for summarizing.
+func roundsOf(rs []dissem.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(r.Rounds)
+	}
+	return out
 }

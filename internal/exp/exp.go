@@ -2,13 +2,14 @@
 // "tables and figures". The paper itself is analysis-only, so each
 // experiment turns one quantitative theorem into a measured table whose
 // shape (scaling exponent, ratio trend, crossover, separation) must
-// match the analysis; DESIGN.md carries the index and EXPERIMENTS.md the
-// recorded outcomes. Every experiment is a pure function from a Config
+// match the analysis; DESIGN.md carries the index and implementation
+// notes. Every experiment is a pure function from a Config
 // to a sim.Table so the CLI and the benchmark suite share one
 // implementation.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,6 +28,14 @@ type Config struct {
 	Quick bool
 	// Seed offsets all randomness.
 	Seed int64
+	// Workers bounds the per-sweep trial worker pool; 0 means
+	// GOMAXPROCS, 1 forces serial execution. Results are identical at
+	// every worker count — trials are seeded and merged in seed order.
+	Workers int
+	// Ctx cancels in-flight sweeps; nil means context.Background().
+	Ctx context.Context
+	// Progress, when non-nil, observes trial completions per sweep.
+	Progress func(done, total int)
 }
 
 func (c Config) trials() int {
@@ -37,6 +46,28 @@ func (c Config) trials() int {
 		return 2
 	}
 	return 5
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+func (c Config) pcfg() sim.ParallelConfig {
+	return sim.ParallelConfig{Workers: c.Workers, Progress: c.Progress}
+}
+
+// sweep runs n seeded trials on the worker pool and summarizes them.
+func (c Config) sweep(n int, fn sim.TrialFunc) (sim.Summary, error) {
+	return sim.ParallelTrials(c.ctx(), c.pcfg(), n, fn)
+}
+
+// sweepSeeded runs n seeded trials that produce a structured result
+// (rounds plus side metrics), returned in seed order.
+func sweepSeeded[T any](c Config, n int, fn func(seed int64) (T, error)) ([]T, error) {
+	return sim.ParallelSeeded(c.ctx(), c.pcfg(), n, fn)
 }
 
 // Experiment is a named, runnable experiment.
@@ -125,7 +156,7 @@ func E1(cfg Config) (*sim.Table, error) {
 	var xs, ys []float64
 	for _, n := range ns {
 		n := n
-		randomSum, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		randomSum, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			adv := adversary.NewRandomConnected(n, n/2, cfg.Seed+seed)
 			r, err := RunIndexedUntilDecoded(n, n, d, adv, cfg.Seed+seed)
 			return float64(r), err
@@ -133,7 +164,7 @@ func E1(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rotSum, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		rotSum, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			adv := adversary.NewRotatingPath(n, cfg.Seed+seed)
 			r, err := RunIndexedUntilDecoded(n, n, d, adv, cfg.Seed+seed)
 			return float64(r), err

@@ -60,7 +60,7 @@ func E5(cfg Config) (*sim.Table, error) {
 			BuildBudget: T / 2,
 		}
 		bits := float64(blocks * payload)
-		coded, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		coded, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + seed))
 			initial := make([][]rlnc.Coded, n)
 			for j := 0; j < blocks; j++ {
@@ -80,7 +80,7 @@ func E5(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fwd, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		fwd, err := cfg.sweep(cfg.trials(), func(seed int64) (float64, error) {
 			dist := token.AtOne(n, kFwd, d, rand.New(rand.NewSource(cfg.Seed+seed)))
 			r, err := stable.RunFlood(dist, kFwd, b, d, T,
 				adversary.NewTStable(adversary.NewRandomConnected(n, n, cfg.Seed+seed), T))
@@ -143,18 +143,13 @@ func E7(cfg Config) (*sim.Table, error) {
 	maxRatio := 0.0
 	for _, n := range ns {
 		n := n
-		var res count.Result
-		_, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
-			r, err := count.Run(n, b, adversary.NewRandomConnected(n, n/2, cfg.Seed+seed), cfg.Seed+seed)
-			if err != nil {
-				return 0, err
-			}
-			res = r
-			return float64(r.TotalRounds), nil
+		runs, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (count.Result, error) {
+			return count.Run(n, b, adversary.NewRandomConnected(n, n/2, cfg.Seed+seed), cfg.Seed+seed)
 		})
 		if err != nil {
 			return nil, err
 		}
+		res := runs[len(runs)-1]
 		ratio := float64(res.TotalRounds) / float64(res.FinalPhaseRounds)
 		if ratio > maxRatio {
 			maxRatio = ratio
@@ -185,23 +180,31 @@ func E8(cfg Config) (*sim.Table, error) {
 	var fracs []float64
 	for _, f := range fields {
 		f := f
-		decodedAll := true
-		frac, err := sim.Trials(cfg.trials(), func(seed int64) (float64, error) {
+		type stallTrial struct {
+			frac    float64
+			decoded bool
+		}
+		runs, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (stallTrial, error) {
 			ok, stalls, rounds, err := derand.RunOmniscientBroadcast(f, n, pe, schedule, cfg.Seed+seed)
 			if err != nil {
-				return 0, err
+				return stallTrial{}, err
 			}
-			if !ok {
-				decodedAll = false
+			st := stallTrial{decoded: ok}
+			if rounds > 0 {
+				st.frac = float64(stalls) / float64(rounds)
 			}
-			if rounds == 0 {
-				return 0, nil
-			}
-			return float64(stalls) / float64(rounds), nil
+			return st, nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		decodedAll := true
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = r.frac
+			decodedAll = decodedAll && r.decoded
+		}
+		frac := sim.Summarize(xs)
 		t.AddRow(f.String(), sim.F(frac.Mean), boolStr(decodedAll), sim.I(n*f.Bits()))
 		fracs = append(fracs, frac.Mean)
 	}
@@ -226,7 +229,7 @@ func E9(cfg Config) (*sim.Table, error) {
 	}
 	for _, k := range ks {
 		k := k
-		fwd, err := sim.Trials(cfg.trials()*4, func(seed int64) (float64, error) {
+		fwd, err := cfg.sweep(cfg.trials()*4, func(seed int64) (float64, error) {
 			return endgameForwardRounds(k, cfg.Seed+seed), nil
 		})
 		if err != nil {

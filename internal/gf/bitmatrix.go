@@ -1,14 +1,22 @@
 package gf
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
-// BitMatrix maintains a set of GF(2) row vectors in row echelon form,
-// supporting incremental insertion. It is the decoder state for network
-// coding over GF(2): each received message is Reduced against the current
-// basis and inserted when it carries new information (increases the rank).
+// BitMatrix maintains a set of GF(2) row vectors in reduced row echelon
+// form, supporting incremental insertion. It is the decoder state for
+// network coding over GF(2): each received message is Reduced against
+// the current basis and inserted when it carries new information
+// (increases the rank).
 //
 // Rows are kept ordered by their leading (lowest-index) set bit; every
-// leading bit is unique.
+// leading bit is unique, and — the RREF invariant — every pivot column
+// has exactly one set bit across all rows. Insert maintains the
+// invariant by back-eliminating the existing rows against each new
+// pivot, so rank/decodability queries never have to clone the matrix or
+// redo elimination: they are O(rank) scans of the stored rows.
 type BitMatrix struct {
 	cols int
 	rows []BitVec
@@ -49,26 +57,31 @@ func (m *BitMatrix) Reduce(v BitVec) BitVec {
 
 func (m *BitMatrix) reduceInPlace(r BitVec) {
 	for i, row := range m.rows {
-		if r.Bit(m.lead[i]) {
-			r.Xor(row)
+		l := m.lead[i]
+		if r.Bit(l) {
+			// row is zero below its leading bit, so the xor can start
+			// at the pivot word.
+			r.XorRange(row, l, m.cols)
 		}
 	}
 }
 
 // Insert reduces v against the basis and, if the remainder is nonzero,
-// adds it as a new row. It reports whether the rank grew.
+// adds it as a new row, back-eliminating the older rows against the new
+// pivot so the matrix stays in reduced row echelon form. It reports
+// whether the rank grew.
 func (m *BitMatrix) Insert(v BitVec) bool {
 	r := m.Reduce(v)
 	lb := r.LeadingBit()
 	if lb < 0 {
 		return false
 	}
-	// Insert keeping rows sorted by leading bit.
-	pos := len(m.rows)
-	for i, l := range m.lead {
-		if lb < l {
-			pos = i
-			break
+	pos := sort.SearchInts(m.lead, lb)
+	// Only rows before pos can see column lb: every later row's leading
+	// bit exceeds lb, so its bits at and below lb are already zero.
+	for j := 0; j < pos; j++ {
+		if m.rows[j].Bit(lb) {
+			m.rows[j].XorRange(r, lb, m.cols)
 		}
 	}
 	m.rows = append(m.rows, BitVec{})
@@ -85,39 +98,44 @@ func (m *BitMatrix) Contains(v BitVec) bool {
 	return m.Reduce(v).IsZero()
 }
 
-// RREF back-eliminates so that each pivot column has a single set bit
-// across all rows (reduced row echelon form). After RREF, if the matrix
-// spans all k unit vectors on the first k coordinates, Row(i) directly
-// reveals coordinate block i.
-func (m *BitMatrix) RREF() {
-	for i := len(m.rows) - 1; i >= 0; i-- {
-		for j := 0; j < i; j++ {
-			if m.rows[j].Bit(m.lead[i]) {
-				m.rows[j].Xor(m.rows[i])
-			}
-		}
+// RREF is a no-op kept for API compatibility: Insert maintains reduced
+// row echelon form incrementally, so the matrix is always fully
+// back-eliminated. After any sequence of Inserts, if the matrix spans
+// all k unit vectors on the first k coordinates, Row(i) directly reveals
+// coordinate block i.
+func (m *BitMatrix) RREF() {}
+
+// RowWithLead returns the index of the row whose pivot column is exactly
+// c, or -1 if no row pivots there. Rows are sorted by pivot, so this is
+// a binary search.
+func (m *BitMatrix) RowWithLead(c int) int {
+	i := sort.SearchInts(m.lead, c)
+	if i < len(m.lead) && m.lead[i] == c {
+		return i
 	}
+	return -1
 }
 
-// UnitRow returns the row whose leading bit is exactly column c and which,
-// within the first prefix columns, has no other set bit. It reports
-// whether such a row exists. Call RREF first; then, for a coding matrix
-// whose first prefix columns are coefficients, UnitRow(c, prefix) is the
-// decoded vector for token c.
+// UnitRow returns the row whose leading bit is exactly column c and
+// which, within the first prefix columns, has no other set bit. It
+// reports whether such a row exists. For a coding matrix whose first
+// prefix columns are coefficients, UnitRow(c, prefix) is the decoded
+// vector for token c. Because the matrix is kept in RREF, this is a
+// binary search plus a word-level popcount — no elimination happens.
 func (m *BitMatrix) UnitRow(c, prefix int) (BitVec, bool) {
-	for i, l := range m.lead {
-		if l != c {
-			continue
-		}
-		row := m.rows[i]
-		for j := 0; j < prefix; j++ {
-			if j != c && row.Bit(j) {
-				return BitVec{}, false
-			}
-		}
-		return row, true
+	i := m.RowWithLead(c)
+	if i < 0 {
+		return BitVec{}, false
 	}
-	return BitVec{}, false
+	row := m.rows[i]
+	want := 0
+	if c < prefix {
+		want = 1
+	}
+	if row.OnesCountPrefix(prefix) != want {
+		return BitVec{}, false
+	}
+	return row, true
 }
 
 // SpansUnitPrefix reports whether the row span restricted to the first
@@ -125,13 +143,8 @@ func (m *BitMatrix) UnitRow(c, prefix int) (BitVec, bool) {
 // can recover every one of the prefix coordinate blocks.
 func (m *BitMatrix) SpansUnitPrefix(prefix int) bool {
 	// The projection spans F_2^prefix iff there are `prefix` pivots among
-	// the first `prefix` columns.
-	pivots := 0
-	for _, l := range m.lead {
-		if l < prefix {
-			pivots++
-		}
-	}
+	// the first `prefix` columns. Leads are sorted, so count the prefix.
+	pivots := sort.SearchInts(m.lead, prefix)
 	return pivots == prefix
 }
 

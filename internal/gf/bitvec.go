@@ -75,6 +75,27 @@ func (v BitVec) Xor(u BitVec) {
 	}
 }
 
+// XorRange xors into v the whole 64-bit words of u that cover bits
+// [lo, hi); words entirely outside the range are skipped. Bits of u that
+// share a word with the range boundary are xored too, so callers must
+// know u is zero outside [lo, hi) — the echelon fast path qualifies: a
+// basis row is zero below its leading bit, so reducing against it can
+// start at the pivot word.
+func (v BitVec) XorRange(u BitVec, lo, hi int) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf: BitVec length mismatch %d vs %d", v.n, u.n))
+	}
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("gf: BitVec xor range [%d,%d) out of range [0,%d)", lo, hi, v.n))
+	}
+	if lo == hi {
+		return
+	}
+	for i, end := lo>>6, (hi+63)>>6; i < end; i++ {
+		v.w[i] ^= u.w[i]
+	}
+}
+
 // Dot returns the GF(2) inner product of v and u (the parity of the
 // popcount of v AND u). The lengths must match.
 func (v BitVec) Dot(u BitVec) uint64 {
@@ -86,6 +107,37 @@ func (v BitVec) Dot(u BitVec) uint64 {
 		acc ^= v.w[i] & uw
 	}
 	return uint64(bits.OnesCount64(acc)) & 1
+}
+
+// DotPrefix returns the GF(2) inner product of v's first u.Len() bits
+// with u, without materializing the prefix as a slice. It relies on the
+// package invariant that u's tail bits beyond u.Len() are zero.
+func (v BitVec) DotPrefix(u BitVec) uint64 {
+	if u.n > v.n {
+		panic(fmt.Sprintf("gf: BitVec prefix dot of %d bits against %d", u.n, v.n))
+	}
+	var acc uint64
+	for i, uw := range u.w {
+		acc ^= v.w[i] & uw
+	}
+	return uint64(bits.OnesCount64(acc)) & 1
+}
+
+// OnesCountPrefix returns the number of set bits among the first prefix
+// bits of v.
+func (v BitVec) OnesCountPrefix(prefix int) int {
+	if prefix < 0 || prefix > v.n {
+		panic(fmt.Sprintf("gf: BitVec prefix %d out of range [0,%d]", prefix, v.n))
+	}
+	c := 0
+	full := prefix >> 6
+	for i := 0; i < full; i++ {
+		c += bits.OnesCount64(v.w[i])
+	}
+	if prefix&63 != 0 {
+		c += bits.OnesCount64(v.w[full] & (1<<(uint(prefix)&63) - 1))
+	}
+	return c
 }
 
 // IsZero reports whether every bit is zero.
@@ -131,16 +183,23 @@ func (v BitVec) Clone() BitVec {
 }
 
 // Slice copies bits [lo, hi) of v into a fresh BitVec of length hi-lo.
+// It works a word at a time: each output word is assembled from at most
+// two input words via shifts.
 func (v BitVec) Slice(lo, hi int) BitVec {
 	if lo < 0 || hi > v.n || lo > hi {
 		panic(fmt.Sprintf("gf: BitVec slice [%d,%d) out of range [0,%d)", lo, hi, v.n))
 	}
 	out := NewBitVec(hi - lo)
-	for i := lo; i < hi; i++ {
-		if v.Bit(i) {
-			out.Set(i-lo, true)
+	shift := uint(lo & 63)
+	wlo := lo >> 6
+	for i := range out.w {
+		w := v.w[wlo+i] >> shift
+		if shift != 0 && wlo+i+1 < len(v.w) {
+			w |= v.w[wlo+i+1] << (64 - shift)
 		}
+		out.w[i] = w
 	}
+	out.maskTail()
 	return out
 }
 

@@ -1,0 +1,90 @@
+package rlnc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// FuzzSpanAddDecode drives a Span with pseudo-random linear combinations
+// of fuzz-chosen source tokens and asserts the decoder contract:
+//
+//   - rank never decreases and Add reports growth exactly when it does,
+//   - DecodableCount is monotone and consistent with DecodablePayload,
+//   - every payload reported decodable equals the encoded original
+//     (Decode round-trips Encode, also before full rank),
+//   - once CanDecode, Decode returns all k original payloads.
+//
+// The corpus bytes select k, d, a payload seed, and one combination
+// mask per added message.
+func FuzzSpanAddDecode(f *testing.F) {
+	f.Add(uint8(4), uint8(8), int64(1), []byte{0x01, 0x02, 0x04, 0x08, 0x0f})
+	f.Add(uint8(1), uint8(1), int64(7), []byte{0x01, 0x01})
+	f.Add(uint8(8), uint8(16), int64(42), []byte{0xff, 0x80, 0x41, 0x23, 0x55, 0xaa, 0x99, 0x01, 0x02})
+	f.Add(uint8(16), uint8(3), int64(-3), []byte{})
+	f.Fuzz(func(t *testing.T, kByte, dByte uint8, payloadSeed int64, masks []byte) {
+		k := int(kByte)%16 + 1
+		d := int(dByte)%24 + 1
+		rng := rand.New(rand.NewSource(payloadSeed))
+		payloads := make([]gf.BitVec, k)
+		src := make([]Coded, k)
+		for i := range src {
+			payloads[i] = gf.RandomBitVec(d, rng.Uint64)
+			src[i] = Encode(i, k, payloads[i])
+		}
+
+		s := NewSpan(k, d)
+		prevCount := 0
+		for mi := 0; mi < len(masks) && mi < 64; mi++ {
+			// Combine the sources selected by the mask bits (byte mi
+			// picks among the first 8 tokens, shifted by position so
+			// later tokens participate too).
+			mix := gf.NewBitVec(k + d)
+			for b := 0; b < 8; b++ {
+				if masks[mi]>>uint(b)&1 == 1 {
+					mix.Xor(src[(mi+b)%k].Vec)
+				}
+			}
+			before := s.Rank()
+			grew := s.Add(Coded{K: k, Vec: mix})
+			if grew != (s.Rank() == before+1) || s.Rank() < before {
+				t.Fatalf("Add growth report %v inconsistent: rank %d -> %d", grew, before, s.Rank())
+			}
+
+			count := s.DecodableCount()
+			if count < prevCount {
+				t.Fatalf("DecodableCount decreased: %d -> %d", prevCount, count)
+			}
+			prevCount = count
+			got := 0
+			for i := 0; i < k; i++ {
+				p, ok := s.DecodablePayload(i)
+				if !ok {
+					continue
+				}
+				got++
+				if !p.Equal(payloads[i]) {
+					t.Fatalf("token %d decoded to %v, want %v", i, p, payloads[i])
+				}
+			}
+			if got != count {
+				t.Fatalf("DecodableCount = %d but %d payloads decodable", count, got)
+			}
+		}
+
+		if s.CanDecode() {
+			decoded, err := s.Decode()
+			if err != nil {
+				t.Fatalf("CanDecode but Decode failed: %v", err)
+			}
+			for i := range decoded {
+				if !decoded[i].Equal(payloads[i]) {
+					t.Fatalf("full decode: token %d = %v, want %v", i, decoded[i], payloads[i])
+				}
+			}
+		} else if _, err := s.Decode(); err == nil {
+			t.Fatal("Decode succeeded below full coefficient rank")
+		}
+	})
+}

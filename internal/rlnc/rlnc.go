@@ -95,17 +95,23 @@ func (s *Span) Add(c Coded) bool {
 // (equivalently, of all received vectors — they generate the same
 // subspace, and the sensing lemma only depends on the subspace). It
 // returns false if the span is empty, in which case the node stays
-// silent.
+// silent. Coefficient coins are drawn 64 at a time and each basis row is
+// xored starting at its pivot word.
 func (s *Span) Combine(rng *rand.Rand) (Coded, bool) {
 	r := s.mat.Rank()
 	if r == 0 {
 		return Coded{}, false
 	}
 	v := gf.NewBitVec(s.k + s.payload)
+	var coins uint64
 	for i := 0; i < r; i++ {
-		if rng.Intn(2) == 1 {
-			v.Xor(s.mat.Row(i))
+		if i&63 == 0 {
+			coins = rng.Uint64()
 		}
+		if coins&1 == 1 {
+			v.XorRange(s.mat.Row(i), s.mat.Lead(i), s.k+s.payload)
+		}
+		coins >>= 1
 	}
 	return Coded{K: s.k, Vec: v}, true
 }
@@ -118,7 +124,7 @@ func (s *Span) Senses(mu gf.BitVec) bool {
 		panic(fmt.Sprintf("rlnc: sensing vector has %d bits, want k=%d", mu.Len(), s.k))
 	}
 	for i := 0; i < s.mat.Rank(); i++ {
-		if s.mat.Row(i).Slice(0, s.k).Dot(mu) == 1 {
+		if s.mat.Row(i).DotPrefix(mu) == 1 {
 			return true
 		}
 	}
@@ -129,19 +135,19 @@ func (s *Span) Senses(mu gf.BitVec) bool {
 // coefficient projection of the span has full rank k.
 func (s *Span) CanDecode() bool { return s.mat.SpansUnitPrefix(s.k) }
 
-// Decode recovers all k payloads by reduced row echelon form. It fails
-// if the span does not yet have full coefficient rank.
+// Decode recovers all k payloads. It fails if the span does not yet
+// have full coefficient rank. Because the basis is maintained in
+// reduced row echelon form, decoding is a straight read of the stored
+// rows — no clone, no elimination.
 func (s *Span) Decode() ([]gf.BitVec, error) {
 	if !s.CanDecode() {
 		return nil, fmt.Errorf("rlnc: rank %d of %d, cannot decode", s.Rank(), s.k)
 	}
-	m := s.mat.Clone()
-	m.RREF()
 	out := make([]gf.BitVec, s.k)
 	for i := 0; i < s.k; i++ {
-		row, ok := m.UnitRow(i, s.k)
+		row, ok := s.mat.UnitRow(i, s.k)
 		if !ok {
-			return nil, fmt.Errorf("rlnc: internal: no unit row for index %d after RREF", i)
+			return nil, fmt.Errorf("rlnc: internal: no unit row for index %d in RREF basis", i)
 		}
 		out[i] = row.Slice(s.k, s.k+s.payload)
 	}
@@ -157,9 +163,7 @@ func (s *Span) DecodablePayload(i int) (gf.BitVec, bool) {
 	if i < 0 || i >= s.k {
 		return gf.BitVec{}, false
 	}
-	m := s.mat.Clone()
-	m.RREF()
-	row, ok := m.UnitRow(i, s.k)
+	row, ok := s.mat.UnitRow(i, s.k)
 	if !ok {
 		return gf.BitVec{}, false
 	}
@@ -167,13 +171,16 @@ func (s *Span) DecodablePayload(i int) (gf.BitVec, bool) {
 }
 
 // DecodableCount returns how many token indices are currently
-// recoverable.
+// recoverable. It is an O(rank) word-level scan of the maintained RREF
+// basis with zero allocation, cheap enough to call every round.
 func (s *Span) DecodableCount() int {
-	m := s.mat.Clone()
-	m.RREF()
 	count := 0
-	for i := 0; i < s.k; i++ {
-		if _, ok := m.UnitRow(i, s.k); ok {
+	for i := 0; i < s.mat.Rank(); i++ {
+		l := s.mat.Lead(i)
+		if l >= s.k {
+			break // leads are sorted; the rest pivot in the payload
+		}
+		if s.mat.Row(i).OnesCountPrefix(s.k) == 1 {
 			count++
 		}
 	}

@@ -48,8 +48,9 @@ func Summarize(xs []float64) Summary {
 }
 
 // Trials runs fn for seeds 0..n-1 and summarizes the results. Errors
-// abort the sweep.
-func Trials(n int, fn func(seed int64) (float64, error)) (Summary, error) {
+// abort the sweep. ParallelTrials is the concurrent equivalent; both
+// produce identical Summaries for the same n and fn.
+func Trials(n int, fn TrialFunc) (Summary, error) {
 	xs := make([]float64, 0, n)
 	for seed := int64(0); seed < int64(n); seed++ {
 		x, err := fn(seed)
@@ -89,7 +90,8 @@ func FitLogLogSlope(xs, ys []float64) (slope float64, err error) {
 }
 
 // Table is an aligned-column result table with a caption, rendered the
-// same way by the CLI and recorded in EXPERIMENTS.md.
+// same way by the CLI and the benchmark suite (see DESIGN.md for the
+// experiment index).
 type Table struct {
 	Caption string
 	Header  []string

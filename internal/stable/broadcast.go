@@ -143,11 +143,16 @@ func Broadcast(
 		maxWindows = 4*(n/geo.D+geo.Blocks) + 64
 	}
 
+	// Decodability is monotone (spans only gain rank), so the check
+	// resumes at the first node not yet known to decode instead of
+	// rescanning the whole network every meta-round.
+	firstUndecoded := 0
 	decoded := func() bool {
-		for _, sp := range spans {
-			if !sp.CanDecode() {
+		for firstUndecoded < len(spans) {
+			if !spans[firstUndecoded].CanDecode() {
 				return false
 			}
+			firstUndecoded++
 		}
 		return true
 	}

@@ -33,6 +33,10 @@ type Sample struct {
 	// Complete counts nodes at full knowledge (rank k / all tokens),
 	// when the target is known.
 	Complete int
+	// MeanDecodable is the mean number of individually recoverable
+	// tokens per coding node (early decoding, ahead of full rank). It is
+	// 0 for runs without coding nodes.
+	MeanDecodable float64
 }
 
 // Recorder is a dynnet.Observer that snapshots knowledge per round.
@@ -52,6 +56,8 @@ func (r *Recorder) ObserveRound(round int, g *graph.Graph, msgs []dynnet.Message
 	s := Sample{Round: round, Edges: g.M(), MinKnown: 1 << 30}
 	total := 0
 	counted := 0
+	decodable := 0
+	coders := 0
 	for _, m := range msgs {
 		if m != nil {
 			s.Messages++
@@ -73,11 +79,18 @@ func (r *Recorder) ObserveRound(round int, g *graph.Graph, msgs []dynnet.Message
 		if r.Target > 0 && known >= r.Target {
 			s.Complete++
 		}
+		if bn, ok := n.(*rlnc.BroadcastNode); ok {
+			coders++
+			decodable += bn.Span().DecodableCount()
+		}
 	}
 	if counted > 0 {
 		s.MeanKnown = float64(total) / float64(counted)
 	} else {
 		s.MinKnown = 0
+	}
+	if coders > 0 {
+		s.MeanDecodable = float64(decodable) / float64(coders)
 	}
 	r.samples = append(r.samples, s)
 }
@@ -120,6 +133,19 @@ func (r *Recorder) InnovationCurve() []float64 {
 			out = append(out, s.MeanKnown-prev)
 		}
 		prev = s.MeanKnown
+	}
+	return out
+}
+
+// DecodableCurve returns, per round, the mean number of individually
+// recoverable tokens per coding node. Its long flat start followed by a
+// late surge is the dual of the innovation curve: random combinations
+// carry information immediately but reveal individual tokens only once
+// the span closes in on full rank.
+func (r *Recorder) DecodableCurve() []float64 {
+	out := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		out[i] = s.MeanDecodable
 	}
 	return out
 }
@@ -191,5 +217,8 @@ func (r *Recorder) Report() string {
 	}
 	fmt.Fprintf(&sb, "mean knowledge:  %s\n", Sparkline(means, 60))
 	fmt.Fprintf(&sb, "innovation rate: %s\n", Sparkline(r.InnovationCurve(), 60))
+	if last.MeanDecodable > 0 {
+		fmt.Fprintf(&sb, "decodable toks:  %s\n", Sparkline(r.DecodableCurve(), 60))
+	}
 	return sb.String()
 }
