@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/central"
+	"repro/internal/cluster"
 	"repro/internal/count"
 	"repro/internal/derand"
 	"repro/internal/dissem"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stable"
 	"repro/internal/token"
+	"repro/internal/wire"
 )
 
 // BenchmarkE1IndexedBroadcast times one Lemma 5.3 run (n = k = 64) and
@@ -263,6 +265,54 @@ func BenchmarkE10Centralized(b *testing.B) {
 	}
 	b.ReportMetric(float64(rounds), "rounds")
 	b.ReportMetric(float64(rounds)/n, "rounds/n")
+}
+
+// BenchmarkE11GossipUnderLoss times one lockstep cluster trial pair
+// (coded vs store-and-forward gossip, n = k = 24, 30% loss) and reports
+// both tick counts; the coded runtime must stay well ahead (E11).
+func BenchmarkE11GossipUnderLoss(b *testing.B) {
+	const n, k, d, loss = 24, 24, 64, 0.3
+	ctx := context.Background()
+	var codedTicks, fwdTicks int
+	for i := 0; i < b.N; i++ {
+		toks := token.RandomSet(k, d, rand.New(rand.NewSource(int64(i))))
+		for _, cfg := range []struct {
+			mode cluster.Mode
+			out  *int
+		}{{cluster.Coded, &codedTicks}, {cluster.Forward, &fwdTicks}} {
+			tr := cluster.WithLoss(cluster.NewChanTransport(n, cluster.InboxBuffer(n, 2)), loss, int64(i)+77)
+			res, err := cluster.Run(ctx, cluster.Config{
+				N: n, Fanout: 2, Mode: cfg.mode, Seed: int64(i), Transport: tr, Lockstep: true,
+			}, toks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatalf("%v gossip incomplete", cfg.mode)
+			}
+			*cfg.out = res.Ticks
+		}
+	}
+	b.ReportMetric(float64(codedTicks), "coded-ticks")
+	b.ReportMetric(float64(fwdTicks), "fwd-ticks")
+	b.ReportMetric(float64(fwdTicks)/float64(codedTicks), "fwd/coded")
+}
+
+// BenchmarkWireRoundTrip times the codec on a cluster-sized coded
+// packet (k = 32, 192-bit vectors including the coded UIDs).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	p := wire.NewCoded(3, 9, rlnc.Encode(5, 32, gf.RandomBitVec(160, rng.Uint64)))
+	raw := p.Marshal()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := wire.Unmarshal(p.Marshal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = q
+	}
 }
 
 // BenchmarkAblationSecondShare measures the DESIGN.md meta-round

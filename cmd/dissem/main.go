@@ -124,7 +124,7 @@ func runOnce(algo string, n, k, b, d, t int, advName, distName string, seed int6
 }
 
 func run(algo string, n, k, b, d, t int, advName, distName string, seed int64, trials, workers int) error {
-	fmt.Printf("algo=%s n=%d k=%d b=%d d=%d T=%d adv=%s dist=%s\n", algo, n, k, b, d, t, advName, distName)
+	fmt.Printf("algo=%s n=%d k=%d b=%d d=%d T=%d adv=%s dist=%s seed=%d\n", algo, n, k, b, d, t, advName, distName, seed)
 	if trials > 1 {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()

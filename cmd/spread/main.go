@@ -54,7 +54,7 @@ func run(n, d int, advName string, seed int64) error {
 	if _, err := e.Run(); err != nil {
 		return err
 	}
-	fmt.Printf("coded indexed broadcast, n = k = %d, d = %d, adversary = %s\n\n", n, d, advName)
+	fmt.Printf("coded indexed broadcast, n = k = %d, d = %d, adversary = %s, seed = %d\n\n", n, d, advName, seed)
 	fmt.Print(rec.Report())
 	// The early-decoding onset makes the Section 5.2 shape concrete:
 	// ranks grow from round one, but tokens beyond a node's own initial

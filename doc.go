@@ -11,6 +11,18 @@
 // application (internal/count), and the experiment harness
 // (internal/sim, internal/exp).
 //
+// Beside the synchronous simulator sits an asynchronous execution
+// model: internal/wire (binary packet codec, fuzz-tested to round-trip
+// exactly) and internal/cluster (goroutine-per-node recoding gossip
+// over pluggable transports with loss/delay/reorder/partition
+// middlewares, plus a deterministic lockstep mode). Try it with
+//
+//	go run ./cmd/cluster -n 64 -k 32 -loss 0.2
+//	go run ./cmd/cluster -transport lockstep -seed 7
+//
+// and see experiment E11 (DESIGN.md "Async cluster runtime") for coded
+// vs store-and-forward gossip under loss.
+//
 // The benchmark suite in bench_test.go regenerates every experiment;
 // see DESIGN.md for the experiment index and implementation notes, and
 // CHANGES.md for the per-change measurement log.

@@ -1,0 +1,518 @@
+// Package cluster is the asynchronous counterpart of the synchronous
+// dynnet engine: each node is a goroutine running a recoding RLNC
+// gossip loop — receive a packet, fold it into the span (rlnc.Span.Add),
+// push fresh random combinations of the whole span
+// (rlnc.Span.RandomCombination) to random peers — over a pluggable
+// Transport that serializes every message through the internal/wire
+// codec. There are no rounds and no global coordination; loss, delay,
+// reordering and partitions are composable transport middlewares.
+//
+// Two execution modes share the node logic:
+//
+//   - Async (default): goroutine per node, pacing by ticker plus
+//     push-on-innovation, wall-clock metrics. This is the "production"
+//     shape: concurrent, lossy, timing-dependent.
+//
+//   - Lockstep (Config.Lockstep): a single-threaded driver alternates
+//     drain and emit phases over the same Transport and node state, so
+//     a run is a pure function of Config.Seed — reproducible trials for
+//     tests and for experiment E11.
+//
+// Mode Forward swaps the coded gossiper for a store-and-forward one
+// (random known token per packet), the baseline E11 compares against.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+	"repro/internal/wire"
+)
+
+// Mode selects the gossip payload discipline.
+type Mode int
+
+const (
+	// Coded nodes exchange random linear combinations of their span and
+	// finish when the span reaches full coefficient rank.
+	Coded Mode = iota
+	// Forward nodes exchange raw tokens (store-and-forward gossip) and
+	// finish when they hold all k tokens.
+	Forward
+)
+
+// String returns the mode's CLI name.
+func (m Mode) String() string {
+	if m == Forward {
+		return "forward"
+	}
+	return "coded"
+}
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Fanout is the number of peers contacted per emission (default 2).
+	Fanout int
+	// Mode selects coded or store-and-forward gossip.
+	Mode Mode
+	// Seed derives all node randomness (coding coins, peer choice). In
+	// lockstep mode it fully determines the run.
+	Seed int64
+	// Transport carries the packets; nil means a fresh ChanTransport
+	// sized so buffer overflow cannot occur in lockstep mode. Run closes
+	// the transport before returning.
+	Transport Transport
+	// Interval paces each node's ticker emissions in async mode
+	// (default 500µs).
+	Interval time.Duration
+	// Timeout caps the async run's wall clock (default 30s).
+	Timeout time.Duration
+	// Lockstep runs the deterministic single-threaded driver instead of
+	// goroutines.
+	Lockstep bool
+	// MaxTicks caps a lockstep run (default 20000).
+	MaxTicks int
+}
+
+func (c Config) fanout() int {
+	if c.Fanout > 0 {
+		return c.Fanout
+	}
+	return 2
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 500 * time.Microsecond
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) maxTicks() int {
+	if c.MaxTicks > 0 {
+		return c.MaxTicks
+	}
+	return 20000
+}
+
+// NodeMetrics are one node's counters. In async mode DoneAt is the wall
+// time from start to full knowledge; in lockstep mode DoneTick is the
+// tick at which the node completed (0-based first tick is 1).
+type NodeMetrics struct {
+	PacketsOut int64
+	PacketsIn  int64
+	// BitsOut is protocol bits sent under the simulator's Bits()
+	// accounting (wire framing excluded), comparable with
+	// dynnet.Metrics.Bits.
+	BitsOut int64
+	// Dropped counts Sends the transport reported undelivered.
+	Dropped int64
+	// Innovative counts received packets that grew this node's
+	// knowledge.
+	Innovative int64
+	Done       bool
+	DoneAt     time.Duration
+	DoneTick   int
+}
+
+// Result reports a finished run.
+type Result struct {
+	// Completed is true when every node reached full knowledge before
+	// the timeout / tick cap.
+	Completed bool
+	// Elapsed is the async wall clock (also set, informationally, for
+	// lockstep runs).
+	Elapsed time.Duration
+	// Ticks is the lockstep tick count at completion (0 for async).
+	Ticks int
+	Nodes []NodeMetrics
+
+	// Aggregates over Nodes.
+	PacketsOut int64
+	PacketsIn  int64
+	BitsOut    int64
+	Dropped    int64
+}
+
+// DoneTicks returns each completed node's DoneTick as float64s, for
+// summary statistics.
+func (r *Result) DoneTicks() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for _, m := range r.Nodes {
+		if m.Done {
+			out = append(out, float64(m.DoneTick))
+		}
+	}
+	return out
+}
+
+// DoneTimes returns each completed node's DoneAt in seconds.
+func (r *Result) DoneTimes() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for _, m := range r.Nodes {
+		if m.Done {
+			out = append(out, m.DoneAt.Seconds())
+		}
+	}
+	return out
+}
+
+// InboxBuffer returns the per-node inbox size at which backpressure
+// drops are impossible in lockstep mode: one tick's worst case is every
+// node targeting the same inbox with fanout packets each. Callers that
+// pre-build a ChanTransport (to wrap middlewares around it) should size
+// it with the same fanout they pass to Run.
+func InboxBuffer(n, fanout int) int { return n*fanout + 1 }
+
+// gossiper is the per-node protocol state shared by both modes.
+type gossiper interface {
+	// absorb ingests one packet, reporting whether it was innovative.
+	absorb(p wire.Packet) bool
+	// emit draws one fresh packet to push, or false if the node has
+	// nothing to say yet.
+	emit(epoch int) (wire.Packet, bool)
+	// complete reports whether the node holds all k tokens.
+	complete() bool
+	// verify checks the node's final state against the originals.
+	verify(toks []token.Token) error
+}
+
+// tokenVec flattens a token to the bit vector the coded mode codes
+// over: 64 UID bits (LSB-first) followed by the payload. Coding the UID
+// alongside the payload keeps the coded and forward modes
+// information-equivalent, so their Bits() costs are honestly
+// comparable.
+func tokenVec(t token.Token) gf.BitVec {
+	v := gf.NewBitVec(token.UIDBits + t.D())
+	u := uint64(t.UID)
+	for b := 0; b < token.UIDBits; b++ {
+		if u>>uint(b)&1 == 1 {
+			v.Set(b, true)
+		}
+	}
+	t.Payload.CopyInto(v, token.UIDBits)
+	return v
+}
+
+// vecToken inverts tokenVec.
+func vecToken(v gf.BitVec) token.Token {
+	var u uint64
+	for b := 0; b < token.UIDBits; b++ {
+		if v.Bit(b) {
+			u |= 1 << uint(b)
+		}
+	}
+	return token.Token{UID: token.UID(u), Payload: v.Slice(token.UIDBits, v.Len())}
+}
+
+// codedNode gossips random linear combinations of its span.
+type codedNode struct {
+	id   int
+	span *rlnc.Span
+	rng  *rand.Rand
+}
+
+func (c *codedNode) absorb(p wire.Packet) bool {
+	if p.Env.Type != wire.TypeCoded {
+		return false
+	}
+	cd := p.Coded
+	if cd.K != c.span.K() || cd.Vec.Len() != c.span.K()+c.span.PayloadBits() {
+		return false
+	}
+	return c.span.Add(cd)
+}
+
+func (c *codedNode) emit(epoch int) (wire.Packet, bool) {
+	cmb, ok := c.span.RandomCombination(c.rng)
+	if !ok {
+		return wire.Packet{}, false
+	}
+	return wire.NewCoded(c.id, epoch, cmb), true
+}
+
+func (c *codedNode) complete() bool { return c.span.CanDecode() }
+
+func (c *codedNode) verify(toks []token.Token) error {
+	vecs, err := c.span.Decode()
+	if err != nil {
+		return fmt.Errorf("node %d: %w", c.id, err)
+	}
+	for i, v := range vecs {
+		if got := vecToken(v); !got.Equal(toks[i]) {
+			return fmt.Errorf("node %d: token %d decoded to %v, want %v", c.id, i, got.UID, toks[i].UID)
+		}
+	}
+	return nil
+}
+
+// forwardNode gossips raw tokens, one random known token per packet.
+type forwardNode struct {
+	id  int
+	k   int
+	set *token.Set
+	rng *rand.Rand
+}
+
+func (f *forwardNode) absorb(p wire.Packet) bool {
+	if p.Env.Type != wire.TypeToken {
+		return false
+	}
+	return f.set.Add(p.Token)
+}
+
+func (f *forwardNode) emit(epoch int) (wire.Packet, bool) {
+	toks := f.set.Tokens()
+	if len(toks) == 0 {
+		return wire.Packet{}, false
+	}
+	return wire.NewToken(f.id, epoch, toks[f.rng.Intn(len(toks))]), true
+}
+
+func (f *forwardNode) complete() bool { return f.set.Len() >= f.k }
+
+func (f *forwardNode) verify(toks []token.Token) error {
+	for _, want := range toks {
+		got, ok := f.set.Get(want.UID)
+		if !ok || !got.Equal(want) {
+			return fmt.Errorf("node %d: token %v missing or corrupted", f.id, want.UID)
+		}
+	}
+	return nil
+}
+
+// Run disseminates toks across an n-node cluster until every node holds
+// all of them (coded: full span rank; forward: full token set), the
+// context is canceled, the timeout expires, or the lockstep tick cap is
+// hit. Token i starts at node i mod n. All token payloads must have the
+// same bit length. On a completed run every node's final state is
+// verified against the originals before Run returns.
+func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
+	k := len(toks)
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.N)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 token")
+	}
+	d := toks[0].D()
+	for i, t := range toks {
+		if t.D() != d {
+			return nil, fmt.Errorf("cluster: token %d has %d payload bits, token 0 has %d", i, t.D(), d)
+		}
+	}
+
+	fanout := cfg.fanout()
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewChanTransport(cfg.N, InboxBuffer(cfg.N, fanout))
+	}
+	defer tr.Close()
+
+	nodes := make([]gossiper, cfg.N)
+	rngs := make([]*rand.Rand, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		rngs[i] = rand.New(rand.NewSource(cfg.Seed + 7919*int64(i) + 1))
+		switch cfg.Mode {
+		case Coded:
+			span := rlnc.NewSpan(k, token.UIDBits+d)
+			for j := i; j < k; j += cfg.N {
+				span.Add(rlnc.Encode(j, k, tokenVec(toks[j])))
+			}
+			nodes[i] = &codedNode{id: i, span: span, rng: rngs[i]}
+		case Forward:
+			set := token.NewSet()
+			for j := i; j < k; j += cfg.N {
+				set.Add(toks[j])
+			}
+			nodes[i] = &forwardNode{id: i, k: k, set: set, rng: rngs[i]}
+		default:
+			return nil, fmt.Errorf("cluster: unknown mode %d", cfg.Mode)
+		}
+	}
+
+	res := &Result{Nodes: make([]NodeMetrics, cfg.N)}
+	start := time.Now()
+	if cfg.Lockstep {
+		runLockstep(ctx, cfg, tr, nodes, rngs, res)
+	} else {
+		runAsync(ctx, cfg, tr, nodes, rngs, res, start)
+	}
+	res.Elapsed = time.Since(start)
+
+	for _, m := range res.Nodes {
+		res.PacketsOut += m.PacketsOut
+		res.PacketsIn += m.PacketsIn
+		res.BitsOut += m.BitsOut
+		res.Dropped += m.Dropped
+	}
+	if res.Completed {
+		for _, n := range nodes {
+			if err := n.verify(toks); err != nil {
+				return res, fmt.Errorf("cluster: verification failed: %w", err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// sendFresh pushes fanout fresh packets from node id to random peers,
+// updating its metrics. It is the shared emission step of both modes.
+func sendFresh(tr Transport, nodes []gossiper, rng *rand.Rand, m *NodeMetrics, id, n, fanout int) {
+	for f := 0; f < fanout; f++ {
+		pkt, ok := nodes[id].emit(int(m.PacketsOut))
+		if !ok {
+			return
+		}
+		peer := rng.Intn(n - 1)
+		if peer >= id {
+			peer++
+		}
+		m.PacketsOut++
+		m.BitsOut += int64(pkt.Bits())
+		if !tr.Send(id, peer, pkt.Marshal()) {
+			m.Dropped++
+		}
+	}
+}
+
+// runAsync is the goroutine-per-node execution: ticker-paced emission
+// plus an immediate push after every innovative receipt.
+func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, rngs []*rand.Rand, res *Result, start time.Time) {
+	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
+	defer cancel()
+
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.N))
+	allDone := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.N; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			node, m, rng := nodes[id], &res.Nodes[id], rngs[id]
+			markDone := func() {
+				if m.Done || !node.complete() {
+					return
+				}
+				m.Done = true
+				m.DoneAt = time.Since(start)
+				if remaining.Add(-1) == 0 {
+					close(allDone)
+				}
+			}
+			markDone() // n == 1 or a node seeded with everything
+			emit := func() {
+				if cfg.N > 1 {
+					sendFresh(tr, nodes, rng, m, id, cfg.N, cfg.fanout())
+				}
+			}
+			ticker := time.NewTicker(cfg.interval())
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case raw := <-tr.Recv(id):
+					m.PacketsIn++
+					p, err := wire.Unmarshal(raw)
+					if err != nil {
+						continue
+					}
+					if node.absorb(p) {
+						m.Innovative++
+						markDone()
+						emit()
+					}
+				case <-ticker.C:
+					emit()
+				}
+			}
+		}(id)
+	}
+
+	select {
+	case <-allDone:
+		res.Completed = true
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
+}
+
+// runLockstep is the deterministic driver: per tick, every node drains
+// its inbox in id order, completion is recorded, then every node emits.
+// With a seeded Config the whole run — including middleware coin flips —
+// is a pure function of the seed; context cancellation (checked once
+// per tick) only ever cuts a run short, it cannot change the ticks that
+// did execute.
+func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, rngs []*rand.Rand, res *Result) {
+	fanout := cfg.fanout()
+	complete := func(tick int) bool {
+		all := true
+		for id := range nodes {
+			m := &res.Nodes[id]
+			if !m.Done && nodes[id].complete() {
+				m.Done = true
+				m.DoneTick = tick
+			}
+			all = all && m.Done
+		}
+		return all
+	}
+	if complete(0) {
+		res.Completed = true
+		return
+	}
+	for tick := 1; tick <= cfg.maxTicks(); tick++ {
+		select {
+		case <-ctx.Done():
+			res.Ticks = tick - 1
+			return
+		default:
+		}
+		for id := range nodes {
+			m := &res.Nodes[id]
+			inbox := tr.Recv(id)
+			for drained := false; !drained; {
+				select {
+				case raw := <-inbox:
+					m.PacketsIn++
+					if p, err := wire.Unmarshal(raw); err == nil && nodes[id].absorb(p) {
+						m.Innovative++
+					}
+				default:
+					drained = true
+				}
+			}
+		}
+		if complete(tick) {
+			res.Completed = true
+			res.Ticks = tick
+			return
+		}
+		for id := range nodes {
+			if cfg.N > 1 {
+				sendFresh(tr, nodes, rngs[id], &res.Nodes[id], id, cfg.N, fanout)
+			}
+		}
+	}
+	res.Ticks = cfg.maxTicks()
+}

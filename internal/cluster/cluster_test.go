@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/token"
+)
+
+func testTokens(k, d int, seed int64) []token.Token {
+	return token.RandomSet(k, d, rand.New(rand.NewSource(seed)))
+}
+
+func TestLockstepCodedCompletesUnderLoss(t *testing.T) {
+	const n, k, d = 16, 16, 64
+	toks := testTokens(k, d, 1)
+	tr := WithLoss(NewChanTransport(n, n*2+1), 0.3, 99)
+	res, err := Run(context.Background(), Config{N: n, Seed: 5, Lockstep: true, Transport: tr}, toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("not completed in %d ticks", res.Ticks)
+	}
+	if res.Dropped == 0 {
+		t.Error("loss middleware dropped nothing at rate 0.3")
+	}
+	if res.PacketsOut == 0 || res.BitsOut == 0 {
+		t.Error("metrics not recorded")
+	}
+	for id, m := range res.Nodes {
+		if !m.Done || m.DoneTick < 1 || m.DoneTick > res.Ticks {
+			t.Errorf("node %d: done=%v tick=%d (run ticks %d)", id, m.Done, m.DoneTick, res.Ticks)
+		}
+	}
+}
+
+func TestLockstepForwardCompletes(t *testing.T) {
+	const n, k, d = 12, 12, 32
+	res, err := Run(context.Background(), Config{N: n, Seed: 3, Mode: Forward, Lockstep: true}, testTokens(k, d, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("forward gossip not completed in %d ticks", res.Ticks)
+	}
+}
+
+// TestLockstepDeterministic is the reproducibility contract: identical
+// seeds give identical runs, tick for tick and counter for counter.
+func TestLockstepDeterministic(t *testing.T) {
+	run := func(seed int64) *Result {
+		const n, k, d = 10, 10, 48
+		tr := WithLoss(NewChanTransport(n, n*2+1), 0.25, seed*17+1)
+		res, err := Run(context.Background(), Config{N: n, Seed: seed, Lockstep: true, Transport: tr}, testTokens(k, d, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("run did not complete")
+		}
+		return res
+	}
+	a, b := run(4), run(4)
+	if a.Ticks != b.Ticks || a.PacketsOut != b.PacketsOut || a.PacketsIn != b.PacketsIn ||
+		a.BitsOut != b.BitsOut || a.Dropped != b.Dropped {
+		t.Fatalf("same seed, different aggregates: %+v vs %+v", a, b)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("same seed, node %d differs: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+	if c := run(5); c.Ticks == a.Ticks && c.PacketsOut == a.PacketsOut && c.Dropped == a.Dropped {
+		t.Log("different seed produced identical aggregates (possible but unlikely)")
+	}
+}
+
+func TestAsyncCodedSmall(t *testing.T) {
+	const n, k, d = 8, 8, 64
+	res, err := Run(context.Background(), Config{N: n, Seed: 2, Timeout: 10 * time.Second}, testTokens(k, d, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("async run did not complete")
+	}
+	for id, m := range res.Nodes {
+		if !m.Done || m.DoneAt <= 0 {
+			t.Errorf("node %d: done=%v at %v", id, m.Done, m.DoneAt)
+		}
+	}
+}
+
+// TestAsyncUnderHostileTransport drives the full middleware stack —
+// loss, delay and reordering — concurrently; it is the -race workout
+// for the whole runtime and is skipped under -short to keep tier-1
+// fast.
+func TestAsyncUnderHostileTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration test skipped with -short")
+	}
+	const n, k, d = 24, 16, 128
+	var tr Transport = NewChanTransport(n, 4*n)
+	tr = WithDelay(tr, 50*time.Microsecond, 2*time.Millisecond, 10)
+	tr = WithReorder(tr, 0.3, 11)
+	tr = WithLoss(tr, 0.2, 12)
+	res, err := Run(context.Background(), Config{N: n, Seed: 6, Transport: tr, Timeout: 20 * time.Second},
+		testTokens(k, d, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete under loss+delay+reorder")
+	}
+	if res.Dropped == 0 {
+		t.Error("no drops recorded at loss 0.2")
+	}
+}
+
+func TestAsyncForwardCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration test skipped with -short")
+	}
+	const n, k, d = 12, 12, 32
+	res, err := Run(context.Background(), Config{N: n, Seed: 9, Mode: Forward, Timeout: 10 * time.Second},
+		testTokens(k, d, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("async forward run did not complete")
+	}
+}
+
+// TestPartitionBlocksThenHeals splits the cluster in two halves holding
+// disjoint token sets: while the cut is up no node can finish; healing
+// it lets the run complete.
+func TestPartitionBlocksThenHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration test skipped with -short")
+	}
+	const n, k, d = 8, 8, 64
+	cut := func(from, to int) bool { return (from < n/2) != (to < n/2) }
+
+	// Permanent partition: must time out incomplete.
+	tr := WithPartition(NewChanTransport(n, 4*n), cut)
+	res, err := Run(context.Background(), Config{N: n, Seed: 1, Transport: tr, Timeout: 300 * time.Millisecond},
+		testTokens(k, d, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("completed across a permanent partition")
+	}
+
+	// Healed partition: an atomic flag drops the cut mid-run.
+	var partitioned atomic.Bool
+	partitioned.Store(true)
+	tr = WithPartition(NewChanTransport(n, 4*n), func(from, to int) bool {
+		return partitioned.Load() && cut(from, to)
+	})
+	heal := time.AfterFunc(100*time.Millisecond, func() { partitioned.Store(false) })
+	defer heal.Stop()
+	res, err = Run(context.Background(), Config{N: n, Seed: 1, Transport: tr, Timeout: 15 * time.Second},
+		testTokens(k, d, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete after the partition healed")
+	}
+}
+
+func TestChanTransportDropsOnFullInbox(t *testing.T) {
+	tr := NewChanTransport(2, 1)
+	if !tr.Send(0, 1, []byte{1}) {
+		t.Fatal("first send dropped")
+	}
+	if tr.Send(0, 1, []byte{2}) {
+		t.Error("send into a full inbox accepted")
+	}
+	if tr.Send(0, 5, []byte{3}) {
+		t.Error("send to an out-of-range node accepted")
+	}
+	tr.Close()
+	tr.Close() // idempotent
+	if tr.Send(0, 1, []byte{4}) {
+		t.Error("send after Close accepted")
+	}
+}
+
+func TestWithLossRate(t *testing.T) {
+	const sends = 10000
+	tr := WithLoss(NewChanTransport(2, sends), 0.3, 1)
+	delivered := 0
+	for i := 0; i < sends; i++ {
+		if tr.Send(0, 1, []byte{0}) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / sends
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("delivered fraction %.3f at loss 0.3, want ~0.7", frac)
+	}
+	if same := WithLoss(tr, 0, 1); same != tr {
+		t.Error("zero loss rate should be the identity decorator")
+	}
+}
+
+func TestWithReorderDeliversAllOutOfOrder(t *testing.T) {
+	const msgs = 200
+	inner := NewChanTransport(2, msgs+1)
+	tr := WithReorder(inner, 0.5, 2)
+	for i := 0; i < msgs; i++ {
+		tr.Send(0, 1, []byte{byte(i)})
+	}
+	var got []byte
+drain:
+	for {
+		select {
+		case p := <-tr.Recv(1):
+			got = append(got, p[0])
+		default:
+			break drain
+		}
+	}
+	// At most one packet may still be parked in the hold-back slot.
+	if len(got) < msgs-1 {
+		t.Fatalf("only %d of %d packets delivered", len(got), msgs)
+	}
+	seen := make(map[byte]bool)
+	inOrder := true
+	for i, b := range got {
+		if seen[b] {
+			t.Fatalf("packet %d duplicated", b)
+		}
+		seen[b] = true
+		if i > 0 && got[i-1] > b {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("no reordering observed at rate 0.5")
+	}
+}
+
+func TestWithDelayDeliversLater(t *testing.T) {
+	inner := NewChanTransport(2, 4)
+	tr := WithDelay(inner, 5*time.Millisecond, 10*time.Millisecond, 3)
+	start := time.Now()
+	tr.Send(0, 1, []byte{7})
+	select {
+	case <-tr.Recv(1):
+		if since := time.Since(start); since < 4*time.Millisecond {
+			t.Errorf("packet arrived after %v, want >= ~5ms", since)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delayed packet never arrived")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	toks := testTokens(4, 8, 1)
+	if _, err := Run(ctx, Config{N: 0, Lockstep: true}, toks); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(ctx, Config{N: 4, Lockstep: true}, nil); err == nil {
+		t.Error("no tokens accepted")
+	}
+	mixed := append(testTokens(2, 8, 1), testTokens(1, 16, 2)...)
+	if _, err := Run(ctx, Config{N: 4, Lockstep: true}, mixed); err == nil {
+		t.Error("mixed payload sizes accepted")
+	}
+	if _, err := Run(ctx, Config{N: 4, Mode: Mode(9), Lockstep: true}, toks); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestSingleNodeCompletesImmediately covers the degenerate cluster.
+func TestSingleNodeCompletesImmediately(t *testing.T) {
+	for _, mode := range []Mode{Coded, Forward} {
+		res, err := Run(context.Background(), Config{N: 1, Mode: mode, Lockstep: true}, testTokens(3, 8, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed || res.Ticks != 0 {
+			t.Errorf("mode %v: completed=%v ticks=%d", mode, res.Completed, res.Ticks)
+		}
+	}
+}
+
+// TestLockstepCapReportsIncomplete pins the MaxTicks behaviour: hitting
+// the cap yields Completed == false, not an error.
+func TestLockstepCapReportsIncomplete(t *testing.T) {
+	const n = 8
+	tr := WithLoss(NewChanTransport(n, 4*n), 0.999, 1)
+	res, err := Run(context.Background(), Config{N: n, Seed: 1, Lockstep: true, Transport: tr, MaxTicks: 20},
+		testTokens(n, 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("completed at 99.9% loss in 20 ticks")
+	}
+	if res.Ticks != 20 {
+		t.Errorf("ticks = %d, want the 20-tick cap", res.Ticks)
+	}
+}
+
+// TestLockstepObservesContext pins the cancellation contract the
+// deterministic driver shares with the async one: a canceled context
+// cuts the run short instead of grinding to the tick cap.
+func TestLockstepObservesContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 8
+	tr := WithLoss(NewChanTransport(n, 4*n), 0.999, 1)
+	res, err := Run(ctx, Config{N: n, Seed: 1, Lockstep: true, Transport: tr, MaxTicks: 1 << 20},
+		testTokens(n, 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("completed under a pre-canceled context at 99.9% loss")
+	}
+	if res.Ticks != 0 {
+		t.Errorf("ticks = %d, want 0 for a pre-canceled context", res.Ticks)
+	}
+}

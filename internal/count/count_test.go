@@ -102,3 +102,42 @@ func TestCountRejectsTinyBudget(t *testing.T) {
 		t.Error("n=0 accepted")
 	}
 }
+
+// TestCountGolden pins full Result values for small deterministic
+// inputs (seeded adversaries make the whole run reproducible): the
+// doubling schedule must land on the same estimate, phase count and
+// round totals every time.
+func TestCountGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (Result, error)
+		want Result
+	}{
+		{
+			"flood n=6 random",
+			func() (Result, error) { return Run(6, 1024, adversary.NewRandomConnected(6, 3, 42), 42) },
+			Result{N: 6, Estimate: 8, TotalRounds: 26, FinalPhaseRounds: 16, Phases: 3},
+		},
+		{
+			"coded n=6 random",
+			func() (Result, error) { return RunCoded(6, 1024, adversary.NewRandomConnected(6, 3, 42), 42) },
+			Result{N: 6, Estimate: 8, TotalRounds: 194, FinalPhaseRounds: 120, Phases: 3},
+		},
+		{
+			"flood n=10 rotating-path",
+			func() (Result, error) { return Run(10, 1024, adversary.NewRotatingPath(10, 5), 6) },
+			Result{N: 10, Estimate: 16, TotalRounds: 58, FinalPhaseRounds: 32, Phases: 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("result %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

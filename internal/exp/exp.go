@@ -1,4 +1,4 @@
-// Package exp defines the repository's experiments E1..E9 — the paper's
+// Package exp defines the repository's experiments E1..E11 — the paper's
 // "tables and figures". The paper itself is analysis-only, so each
 // experiment turns one quantitative theorem into a measured table whose
 // shape (scaling exponent, ratio trend, crossover, separation) must
@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"E8", "omniscient adversary vs field size (Thm 6.1)", E8},
 		{"E9", "end-game: one XOR replaces ~k/2 forwarding rounds (Sec 5.2)", E9},
 		{"E10", "centralized coding is linear-time at b = d (Cor 2.6)", E10},
+		{"E11", "async coded gossip beats store-and-forward under loss (Thm 2.3, cluster runtime)", E11},
 	}
 }
 

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// gossipTrial is one seeded E11 data point: the same token set pushed
+// through the lockstep cluster runtime in both gossip modes over an
+// identically-seeded lossy transport.
+type gossipTrial struct {
+	codedTicks, fwdTicks float64
+	codedBits, fwdBits   float64
+}
+
+// runGossipTrial runs both modes at one (loss, seed) pair. Lockstep
+// mode makes each run a pure function of its seed, which is what lets
+// E11 ride the deterministic parallel trial engine like every other
+// experiment.
+func runGossipTrial(cfg Config, n, k, d int, loss float64, seed int64) (gossipTrial, error) {
+	const fanout = 2
+	toks := token.RandomSet(k, d, rand.New(rand.NewSource(seed)))
+	run := func(mode cluster.Mode) (*cluster.Result, error) {
+		tr := cluster.WithLoss(cluster.NewChanTransport(n, cluster.InboxBuffer(n, fanout)), loss, seed*977+31)
+		res, err := cluster.Run(cfg.ctx(), cluster.Config{
+			N: n, Fanout: fanout, Mode: mode, Seed: seed, Transport: tr, Lockstep: true, MaxTicks: 100000,
+		}, toks)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Completed {
+			return nil, fmt.Errorf("exp: %v gossip incomplete after %d ticks (loss %.2f, seed %d)", mode, res.Ticks, loss, seed)
+		}
+		if loss == 0 && res.Dropped != 0 {
+			// The inbox is sized so lockstep cannot overflow; a drop on
+			// the lossless row would silently skew the baseline.
+			return nil, fmt.Errorf("exp: %d drops on the lossless row (%v, seed %d)", res.Dropped, mode, seed)
+		}
+		return res, nil
+	}
+	coded, err := run(cluster.Coded)
+	if err != nil {
+		return gossipTrial{}, err
+	}
+	fwd, err := run(cluster.Forward)
+	if err != nil {
+		return gossipTrial{}, err
+	}
+	return gossipTrial{
+		codedTicks: float64(coded.Ticks), fwdTicks: float64(fwd.Ticks),
+		codedBits: float64(coded.BitsOut), fwdBits: float64(fwd.BitsOut),
+	}, nil
+}
+
+// E11 compares asynchronous coded gossip against store-and-forward
+// gossip across packet loss rates on the cluster runtime. It is the
+// async restatement of the paper's core separation (Thm 2.3 vs 2.1):
+// a forwarding node must collect k distinct tokens from random pushes —
+// a coupon-collector tail that loss stretches further — while a coded
+// node only needs k innovative packets, and under recoding almost every
+// surviving packet is innovative. The fwd/coded tick ratio should be
+// well above 1 and not shrink as loss grows; coded should also win on
+// total protocol bits despite its k-bit coefficient headers.
+func E11(cfg Config) (*sim.Table, error) {
+	n, k, d := 24, 24, 64
+	losses := []float64{0, 0.2, 0.4, 0.6}
+	if cfg.Quick {
+		n, k = 12, 12
+		losses = []float64{0, 0.4}
+	}
+	t := &sim.Table{
+		Caption: fmt.Sprintf("E11: coded vs store-and-forward gossip under loss (lockstep cluster, n=%d, k=%d, d=%d)", n, k, d),
+		Header:  []string{"loss", "coded(ticks)", "fwd(ticks)", "fwd/coded", "coded(Mbit)", "fwd(Mbit)"},
+	}
+	var ratios []float64
+	for _, loss := range losses {
+		loss := loss
+		trials, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (gossipTrial, error) {
+			return runGossipTrial(cfg, n, k, d, loss, cfg.Seed+seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var g gossipTrial
+		for _, tr := range trials {
+			g.codedTicks += tr.codedTicks
+			g.fwdTicks += tr.fwdTicks
+			g.codedBits += tr.codedBits
+			g.fwdBits += tr.fwdBits
+		}
+		m := float64(len(trials))
+		ratio := g.fwdTicks / g.codedTicks
+		ratios = append(ratios, ratio)
+		t.AddRow(fmt.Sprintf("%.1f", loss), sim.F(g.codedTicks/m), sim.F(g.fwdTicks/m),
+			sim.F(ratio), sim.F(g.codedBits/m/1e6), sim.F(g.fwdBits/m/1e6))
+	}
+	first, last := ratios[0], ratios[len(ratios)-1]
+	// The claim is a clear separation that loss does not erode: the
+	// ratio at the highest loss must stay well above 1 (2x leaves slack
+	// under trial noise; the measured value is ~5x) and must not have
+	// collapsed relative to the lossless ratio.
+	verdict := "PASS"
+	if last < 2 || last < 0.5*first {
+		verdict = "FAIL"
+	}
+	t.AddNote("fwd/coded ticks: %.2f at loss %.1f -> %.2f at loss %.1f (require >= 2x and no collapse vs lossless: %s)",
+		first, losses[0], last, losses[len(losses)-1], verdict)
+	t.AddNote("coded needs ~k innovative packets per node; forwarding pays the coupon-collector tail, compounded by loss")
+	return t, nil
+}

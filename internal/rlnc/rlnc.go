@@ -116,6 +116,27 @@ func (s *Span) Combine(rng *rand.Rand) (Coded, bool) {
 	return Coded{K: s.k, Vec: v}, true
 }
 
+// RandomCombination returns a uniformly random *nonzero* element of the
+// span. It is the recoding primitive of asynchronous gossip: a relay
+// re-randomizes its whole received subspace into one fresh packet
+// instead of forwarding any particular message. Combine already draws
+// uniformly from the span, but 1 in 2^rank of its draws is the zero
+// vector — a wasted packet on a real wire — so RandomCombination
+// rejection-samples the zero draw, which makes the output uniform over
+// the 2^rank - 1 nonzero span elements (expected < 2 draws even at rank
+// 1). It returns false if the span is empty.
+func (s *Span) RandomCombination(rng *rand.Rand) (Coded, bool) {
+	for {
+		c, ok := s.Combine(rng)
+		if !ok {
+			return Coded{}, false
+		}
+		if !c.Vec.IsZero() {
+			return c, true
+		}
+	}
+}
+
 // Senses reports Definition 5.1: whether the node has received a vector
 // whose coefficient part is not orthogonal to mu. Because sensing only
 // depends on the received subspace, it is evaluated on the basis.

@@ -247,3 +247,69 @@ func TestSpanCloneIndependent(t *testing.T) {
 		t.Error("clone not independent")
 	}
 }
+
+// TestRandomCombinationInSpanAndNonzero checks the cluster recoding
+// primitive: every draw is a nonzero vector that lies in the span (so
+// adding it to a clone cannot grow the rank).
+func TestRandomCombinationInSpanAndNonzero(t *testing.T) {
+	const k, d = 8, 16
+	rng := rand.New(rand.NewSource(11))
+	s := NewSpan(k, d)
+	for i := 0; i < 5; i++ {
+		s.Add(Encode(i, k, gf.RandomBitVec(d, rng.Uint64)))
+	}
+	for trial := 0; trial < 200; trial++ {
+		c, ok := s.RandomCombination(rng)
+		if !ok {
+			t.Fatal("nonempty span produced no combination")
+		}
+		if c.Vec.IsZero() {
+			t.Fatal("RandomCombination returned the zero vector")
+		}
+		if c.K != k || c.Vec.Len() != k+d {
+			t.Fatalf("combination dims k=%d len=%d", c.K, c.Vec.Len())
+		}
+		if s.Clone().Add(c) {
+			t.Fatal("combination lies outside the span (rank grew)")
+		}
+	}
+	empty := NewSpan(k, d)
+	if _, ok := empty.RandomCombination(rng); ok {
+		t.Error("empty span produced a combination")
+	}
+}
+
+// TestRandomCombinationDecodable feeds a fresh span exclusively from
+// RandomCombination packets of a full-rank source span: the receiver
+// must reach full rank and decode the original payloads — the
+// decodable-compatibility the cluster recoder relies on.
+func TestRandomCombinationDecodable(t *testing.T) {
+	const k, d = 12, 24
+	rng := rand.New(rand.NewSource(12))
+	payloads := make([]gf.BitVec, k)
+	src := NewSpan(k, d)
+	for i := range payloads {
+		payloads[i] = gf.RandomBitVec(d, rng.Uint64)
+		src.Add(Encode(i, k, payloads[i]))
+	}
+	dst := NewSpan(k, d)
+	for step := 0; !dst.CanDecode(); step++ {
+		if step > 64*k {
+			t.Fatal("receiver did not reach full rank from random combinations")
+		}
+		c, ok := src.RandomCombination(rng)
+		if !ok {
+			t.Fatal("source span empty")
+		}
+		dst.Add(c)
+	}
+	got, err := dst.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if !got[i].Equal(payloads[i]) {
+			t.Errorf("payload %d mismatch after recoded transfer", i)
+		}
+	}
+}

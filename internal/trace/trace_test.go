@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -138,5 +139,82 @@ func TestReportRenders(t *testing.T) {
 	}
 	if empty := NewRecorder(0).Report(); !strings.Contains(empty, "no samples") {
 		t.Error("empty recorder report wrong")
+	}
+}
+
+// runRecordedN is runRecorded with an explicit node count and fully
+// pinned seeds, the fixture for the golden assertions below.
+func runRecordedN(t *testing.T, n int) *Recorder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]dynnet.Node, n)
+	const d = 8
+	schedule := rlnc.DefaultSchedule(n, n)
+	for i := 0; i < n; i++ {
+		nrng := rand.New(rand.NewSource(int64(i + 10)))
+		nodes[i] = rlnc.NewBroadcastNode(n, d, schedule,
+			[]rlnc.Coded{rlnc.Encode(i, n, gf.RandomBitVec(d, rng.Uint64))}, nrng)
+	}
+	rec := NewRecorder(n)
+	e := dynnet.NewEngine(nodes, adversary.NewRandomConnected(n, n/2, 2),
+		dynnet.Config{Observer: rec})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestDecodableCurveGolden pins the round-curve output of a small fully
+// deterministic run (n = k = 6, seeds fixed): every derived curve and
+// its rendering must reproduce bit for bit. The early decodable values
+// and the saturation at k are the Section 5.2 "late reveal" shape the
+// curve exists to expose.
+func TestDecodableCurveGolden(t *testing.T) {
+	rec := runRecordedN(t, 6)
+	samples := rec.Samples()
+	if len(samples) != 64 {
+		t.Fatalf("samples = %d, want the full 64-round schedule", len(samples))
+	}
+	if round, ok := rec.CompletionRound(); !ok || round != 7 {
+		t.Errorf("completion round = %d (ok=%v), want 7", round, ok)
+	}
+
+	curve := rec.DecodableCurve()
+	if len(curve) != len(samples) {
+		t.Fatalf("curve length %d != samples %d", len(curve), len(samples))
+	}
+	wantHead := []float64{2.5, 2.5, 3, 13.0 / 3, 14.0 / 3, 16.0 / 3, 16.0 / 3, 6}
+	for i, want := range wantHead {
+		if math.Abs(curve[i]-want) > 1e-9 {
+			t.Errorf("decodable[%d] = %.6f, want %.6f", i, curve[i], want)
+		}
+	}
+	// After completion every node decodes all k = 6 tokens, forever.
+	for i := 7; i < len(curve); i++ {
+		if curve[i] != 6 {
+			t.Fatalf("decodable[%d] = %.3f after completion, want 6", i, curve[i])
+		}
+	}
+	// Decodability is monotone: a token recoverable from a span stays
+	// recoverable under span growth.
+	for i := 1; i < len(curve); i++ {
+		if curve[i]+1e-9 < curve[i-1] {
+			t.Fatalf("decodable curve decreased at round %d: %.3f -> %.3f", i, curve[i-1], curve[i])
+		}
+	}
+
+	wantInno := []float64{0, 2.0 / 3, 4.0 / 3, 1.0 / 3, 2.0 / 3, 0, 0.5, 0}
+	inno := rec.InnovationCurve()
+	if len(inno) != len(samples)-1 {
+		t.Fatalf("innovation length %d, want %d", len(inno), len(samples)-1)
+	}
+	for i, want := range wantInno {
+		if math.Abs(inno[i]-want) > 1e-9 {
+			t.Errorf("innovation[%d] = %.6f, want %.6f", i, inno[i], want)
+		}
+	}
+
+	if got, want := Sparkline(curve, 20), "▁▅▇█████████████████"; got != want {
+		t.Errorf("decodable sparkline %q, want %q", got, want)
 	}
 }

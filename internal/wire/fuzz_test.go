@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// FuzzWireRoundTrip checks both halves of the codec contract:
+//
+//  1. decoder-first: any byte string the decoder accepts re-marshals to
+//     the identical bytes (accepted encodings are canonical);
+//  2. encoder-first: a packet built from the fuzz input survives
+//     Marshal → Unmarshal unchanged.
+func FuzzWireRoundTrip(f *testing.F) {
+	rng := func() func() uint64 {
+		s := uint64(0x9e3779b97f4a7c15)
+		return func() uint64 { s += 0x9e3779b97f4a7c15; return s * 0xbf58476d1ce4e5b9 }
+	}()
+	seedCoded := NewCoded(3, 7, rlnc.Encode(1, 4, gf.RandomBitVec(12, rng))).Marshal()
+	seedToken := NewToken(1, 2, token.Token{UID: token.NewUID(5, 6), Payload: gf.RandomBitVec(30, rng)}).Marshal()
+	f.Add(seedCoded)
+	f.Add(seedToken)
+	f.Add([]byte{})
+	f.Add([]byte{Version, byte(TypeCoded), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder-first.
+		if p, err := Unmarshal(data); err == nil {
+			out := p.Marshal()
+			if !bytes.Equal(out, data) {
+				t.Fatalf("accepted %x but re-marshaled %x", data, out)
+			}
+			if p.Bits() < 0 {
+				t.Fatalf("negative Bits %d", p.Bits())
+			}
+		}
+
+		// Encoder-first: derive a structured packet from the raw input.
+		if len(data) < 12 {
+			return
+		}
+		sender := int(binary.LittleEndian.Uint32(data[0:4]) % (1 << 20))
+		epoch := int(binary.LittleEndian.Uint32(data[4:8]) % (1 << 20))
+		bits := int(data[8]) + int(data[9]) // 0..510
+		body := data[12:]
+		var p Packet
+		if data[10]%2 == 0 {
+			k := bits / 2
+			vec := bitsFrom(body, bits)
+			p = NewCoded(sender, epoch, rlnc.Coded{K: k, Vec: vec})
+		} else {
+			uid := token.UID(binary.LittleEndian.Uint64(data[0:8]))
+			p = NewToken(sender, epoch, token.Token{UID: uid, Payload: bitsFrom(body, bits)})
+		}
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("marshal of valid packet rejected: %v", err)
+		}
+		if got.Env != p.Env || got.Bits() != p.Bits() {
+			t.Fatalf("envelope or size changed: %+v -> %+v", p, got)
+		}
+		switch p.Env.Type {
+		case TypeCoded:
+			if got.Coded.K != p.Coded.K || !got.Coded.Vec.Equal(p.Coded.Vec) {
+				t.Fatal("coded body changed")
+			}
+		case TypeToken:
+			if !got.Token.Equal(p.Token) {
+				t.Fatal("token body changed")
+			}
+		}
+		if !bytes.Equal(got.Marshal(), p.Marshal()) {
+			t.Fatal("double marshal differs")
+		}
+	})
+}
+
+// bitsFrom builds an n-bit vector from fuzz bytes, zero-padded.
+func bitsFrom(b []byte, n int) gf.BitVec {
+	v := gf.NewBitVec(n)
+	for i := 0; i < n && i/8 < len(b); i++ {
+		if b[i/8]>>(uint(i)%8)&1 == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}

@@ -1,0 +1,239 @@
+// Package wire is the compact binary codec for the cluster runtime's
+// protocol messages: network-coded packets (rlnc.Coded), raw tokens
+// (token.Token, for the store-and-forward baseline), and a small
+// envelope header carrying version, message type, sender and epoch.
+//
+// The codec is the serialization boundary between the synchronous
+// simulator world (in-memory Message values whose cost is their Bits()
+// accounting) and the asynchronous cluster world (byte slices on a
+// Transport). Two invariants tie the worlds together:
+//
+//   - Marshal and Unmarshal round-trip exactly: Unmarshal(Marshal(p))
+//     reproduces p, and Marshal(Unmarshal(b)) reproduces b for every b
+//     the decoder accepts (enforced by FuzzWireRoundTrip). The decoder
+//     rejects trailing bytes and nonzero spare bits so every accepted
+//     byte string has exactly one packet value.
+//
+//   - Packet implements the simulator's Bits() accounting by delegating
+//     to the wrapped message, so wire costs and simulator costs are
+//     directly comparable. The fixed framing overhead (header plus
+//     length fields) is reported separately by WireBytes; tests pin the
+//     exact relation between the two.
+//
+// Wire layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     type (1 = coded, 2 = token)
+//	2       4     sender (uint32 node id)
+//	6       4     epoch (uint32 sender-local sequence/round)
+//
+// followed by a type-specific body:
+//
+//	coded:  uint32 k, uint32 vecBits, ceil(vecBits/8) bytes (LSB-first)
+//	token:  uint64 uid, uint32 payloadBits, ceil(payloadBits/8) bytes
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// Version is the codec version byte emitted by Marshal and required by
+// Unmarshal.
+const Version = 1
+
+// HeaderBytes is the size of the envelope header on the wire.
+const HeaderBytes = 10
+
+// HeaderBits is the envelope overhead in bits, for cost accounting that
+// wants to charge framing on top of Packet.Bits().
+const HeaderBits = HeaderBytes * 8
+
+// MaxVecBits caps the bit length the decoder accepts for a coded vector
+// or token payload. It is far above anything the experiments use and
+// exists only to bound decoder work on adversarial input.
+const MaxVecBits = 1 << 24
+
+// Type discriminates the message kinds the codec carries.
+type Type uint8
+
+const (
+	// TypeCoded is a network-coded packet: k, coefficient vector and
+	// coded payload in one bit vector.
+	TypeCoded Type = 1
+	// TypeToken is a raw token: UID plus payload, the store-and-forward
+	// baseline's unit of exchange.
+	TypeToken Type = 2
+)
+
+var (
+	// ErrTruncated is wrapped by errors for packets shorter than their
+	// declared layout.
+	ErrTruncated = errors.New("wire: truncated packet")
+	// ErrVersion is wrapped by errors for unsupported version bytes.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrType is wrapped by errors for unknown message types.
+	ErrType = errors.New("wire: unknown message type")
+	// ErrMalformed is wrapped by errors for packets that parse but
+	// violate a structural invariant (length mismatch, trailing bytes,
+	// nonzero spare bits, k exceeding the vector length).
+	ErrMalformed = errors.New("wire: malformed packet")
+)
+
+// Envelope is the fixed packet header.
+type Envelope struct {
+	Version uint8
+	Type    Type
+	// Sender is the originating node id.
+	Sender uint32
+	// Epoch is a sender-local sequence or round number; the codec does
+	// not interpret it.
+	Epoch uint32
+}
+
+// Packet is one decoded protocol message: the envelope plus exactly one
+// of the type-specific bodies (selected by Env.Type).
+type Packet struct {
+	Env Envelope
+	// Coded is valid iff Env.Type == TypeCoded.
+	Coded rlnc.Coded
+	// Token is valid iff Env.Type == TypeToken.
+	Token token.Token
+}
+
+// NewCoded wraps a coded message in a versioned envelope.
+func NewCoded(sender, epoch int, c rlnc.Coded) Packet {
+	return Packet{
+		Env:   Envelope{Version: Version, Type: TypeCoded, Sender: uint32(sender), Epoch: uint32(epoch)},
+		Coded: c,
+	}
+}
+
+// NewToken wraps a raw token in a versioned envelope.
+func NewToken(sender, epoch int, t token.Token) Packet {
+	return Packet{
+		Env:   Envelope{Version: Version, Type: TypeToken, Sender: uint32(sender), Epoch: uint32(epoch)},
+		Token: t,
+	}
+}
+
+// Bits returns the wrapped message's size under the simulator's
+// accounting (rlnc.Coded.Bits or token.Token.Bits), which is what makes
+// wire costs comparable with dynnet.Metrics. Framing overhead is
+// excluded; see HeaderBits and WireBytes.
+func (p Packet) Bits() int {
+	switch p.Env.Type {
+	case TypeCoded:
+		return p.Coded.Bits()
+	case TypeToken:
+		return p.Token.Bits()
+	}
+	return 0
+}
+
+// WireBytes returns the exact marshaled size in bytes.
+func (p Packet) WireBytes() int {
+	switch p.Env.Type {
+	case TypeCoded:
+		return HeaderBytes + 8 + (p.Coded.Vec.Len()+7)/8
+	case TypeToken:
+		return HeaderBytes + 12 + (p.Token.Payload.Len()+7)/8
+	}
+	return HeaderBytes
+}
+
+// Marshal serializes the packet. It panics on an envelope type the
+// codec does not know (a programming error, not a wire condition).
+func (p Packet) Marshal() []byte {
+	out := make([]byte, 0, p.WireBytes())
+	out = append(out, p.Env.Version, byte(p.Env.Type))
+	out = binary.LittleEndian.AppendUint32(out, p.Env.Sender)
+	out = binary.LittleEndian.AppendUint32(out, p.Env.Epoch)
+	switch p.Env.Type {
+	case TypeCoded:
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Coded.K))
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Coded.Vec.Len()))
+		out = append(out, p.Coded.Vec.Bytes()...)
+	case TypeToken:
+		out = binary.LittleEndian.AppendUint64(out, uint64(p.Token.UID))
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Token.Payload.Len()))
+		out = append(out, p.Token.Payload.Bytes()...)
+	default:
+		panic(fmt.Sprintf("wire: marshal of unknown type %d", p.Env.Type))
+	}
+	return out
+}
+
+// Unmarshal parses one packet, validating the version, type, declared
+// lengths, spare bits and the absence of trailing bytes, so that
+// Marshal(Unmarshal(b)) == b for every accepted b.
+func Unmarshal(data []byte) (Packet, error) {
+	if len(data) < HeaderBytes {
+		return Packet{}, fmt.Errorf("%w: %d bytes < %d-byte header", ErrTruncated, len(data), HeaderBytes)
+	}
+	env := Envelope{
+		Version: data[0],
+		Type:    Type(data[1]),
+		Sender:  binary.LittleEndian.Uint32(data[2:6]),
+		Epoch:   binary.LittleEndian.Uint32(data[6:10]),
+	}
+	if env.Version != Version {
+		return Packet{}, fmt.Errorf("%w: %d", ErrVersion, env.Version)
+	}
+	body := data[HeaderBytes:]
+	switch env.Type {
+	case TypeCoded:
+		if len(body) < 8 {
+			return Packet{}, fmt.Errorf("%w: coded body %d bytes < 8", ErrTruncated, len(body))
+		}
+		k := binary.LittleEndian.Uint32(body[0:4])
+		vecBits := binary.LittleEndian.Uint32(body[4:8])
+		if vecBits > MaxVecBits {
+			return Packet{}, fmt.Errorf("%w: coded vector %d bits exceeds cap", ErrMalformed, vecBits)
+		}
+		if k > vecBits {
+			return Packet{}, fmt.Errorf("%w: k=%d exceeds vector length %d", ErrMalformed, k, vecBits)
+		}
+		vec, err := bitvecFromWire(body[8:], int(vecBits))
+		if err != nil {
+			return Packet{}, err
+		}
+		return Packet{Env: env, Coded: rlnc.Coded{K: int(k), Vec: vec}}, nil
+	case TypeToken:
+		if len(body) < 12 {
+			return Packet{}, fmt.Errorf("%w: token body %d bytes < 12", ErrTruncated, len(body))
+		}
+		uid := binary.LittleEndian.Uint64(body[0:8])
+		payloadBits := binary.LittleEndian.Uint32(body[8:12])
+		if payloadBits > MaxVecBits {
+			return Packet{}, fmt.Errorf("%w: token payload %d bits exceeds cap", ErrMalformed, payloadBits)
+		}
+		payload, err := bitvecFromWire(body[12:], int(payloadBits))
+		if err != nil {
+			return Packet{}, err
+		}
+		return Packet{Env: env, Token: token.Token{UID: token.UID(uid), Payload: payload}}, nil
+	default:
+		return Packet{}, fmt.Errorf("%w: %d", ErrType, env.Type)
+	}
+}
+
+// bitvecFromWire decodes an n-bit LSB-first vector that must occupy
+// exactly the remaining bytes, with all spare bits of the last byte
+// zero (the canonical encoding Marshal produces).
+func bitvecFromWire(b []byte, n int) (gf.BitVec, error) {
+	need := (n + 7) / 8
+	if len(b) != need {
+		return gf.BitVec{}, fmt.Errorf("%w: %d payload bytes for %d bits (want %d)", ErrMalformed, len(b), n, need)
+	}
+	if n%8 != 0 && b[need-1]>>(uint(n)%8) != 0 {
+		return gf.BitVec{}, fmt.Errorf("%w: nonzero spare bits in final byte", ErrMalformed)
+	}
+	return gf.BitVecFromBytes(b, n), nil
+}

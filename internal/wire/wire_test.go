@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynnet"
+	"repro/internal/gf"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+)
+
+// Packet must satisfy the simulator's message interface so wire and
+// simulator costs share one accounting.
+var _ dynnet.Message = Packet{}
+
+func TestCodedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []struct{ k, d int }{{1, 0}, {1, 1}, {8, 8}, {32, 128}, {64, 7}, {13, 100}} {
+		c := rlnc.Encode(dims.k/2, dims.k, gf.RandomBitVec(dims.d, rng.Uint64))
+		p := NewCoded(3, 42, c)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("k=%d d=%d: %v", dims.k, dims.d, err)
+		}
+		if got.Env != p.Env {
+			t.Errorf("k=%d d=%d: envelope %+v != %+v", dims.k, dims.d, got.Env, p.Env)
+		}
+		if got.Coded.K != c.K || !got.Coded.Vec.Equal(c.Vec) {
+			t.Errorf("k=%d d=%d: coded body does not round-trip", dims.k, dims.d)
+		}
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{0, 1, 8, 63, 64, 65, 500} {
+		tok := token.Random(token.NewUID(7, 9), d, rng)
+		p := NewToken(1, 5, tok)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if got.Env != p.Env {
+			t.Errorf("d=%d: envelope mismatch", d)
+		}
+		if !got.Token.Equal(tok) {
+			t.Errorf("d=%d: token does not round-trip", d)
+		}
+	}
+}
+
+// TestBitsAgreesWithSimAccounting pins the comparability contract: a
+// decoded wire packet reports exactly the Bits() the in-memory message
+// would be charged by the dynnet engine, and the physical size is that
+// payload plus the documented framing.
+func TestBitsAgreesWithSimAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := rlnc.Encode(2, 16, gf.RandomBitVec(100, rng.Uint64))
+	pc := NewCoded(0, 0, c)
+	if pc.Bits() != c.Bits() {
+		t.Errorf("coded Bits %d != rlnc accounting %d", pc.Bits(), c.Bits())
+	}
+	if want := 16 + 100; pc.Bits() != want {
+		t.Errorf("coded Bits %d, want k+payload = %d", pc.Bits(), want)
+	}
+	if got, want := len(pc.Marshal()), HeaderBytes+8+(c.Bits()+7)/8; got != want || pc.WireBytes() != want {
+		t.Errorf("coded wire size %d (WireBytes %d), want %d", got, pc.WireBytes(), want)
+	}
+
+	tok := token.Random(token.NewUID(1, 2), 100, rng)
+	pt := NewToken(0, 0, tok)
+	if pt.Bits() != tok.Bits() {
+		t.Errorf("token Bits %d != token accounting %d", pt.Bits(), tok.Bits())
+	}
+	if want := token.UIDBits + 100; pt.Bits() != want {
+		t.Errorf("token Bits %d, want UID+payload = %d", pt.Bits(), want)
+	}
+	if got, want := len(pt.Marshal()), HeaderBytes+12+(100+7)/8; got != want || pt.WireBytes() != want {
+		t.Errorf("token wire size %d (WireBytes %d), want %d", got, pt.WireBytes(), want)
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	good := NewCoded(1, 1, rlnc.Encode(0, 4, gf.RandomBitVec(5, rng.Uint64))).Marshal()
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:5], ErrTruncated},
+		{"bad version", mutate(func(b []byte) []byte { b[0] = 9; return b }), ErrVersion},
+		{"bad type", mutate(func(b []byte) []byte { b[1] = 77; return b }), ErrType},
+		{"short coded body", good[:HeaderBytes+3], ErrTruncated},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrMalformed},
+		{"truncated vector", good[:len(good)-1], ErrMalformed},
+		{"spare bits set", mutate(func(b []byte) []byte { b[len(b)-1] |= 0x80; return b }), ErrMalformed},
+		{"k over veclen", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[HeaderBytes:], 100)
+			return b
+		}), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Oversized declared length must be rejected before allocation.
+	huge := mutate(func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[HeaderBytes+4:], MaxVecBits+1)
+		return b
+	})
+	if _, err := Unmarshal(huge); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized vector accepted: %v", err)
+	}
+
+	// Short token body.
+	tokHdr := NewToken(0, 0, token.Token{Payload: gf.NewBitVec(0)}).Marshal()[:HeaderBytes+4]
+	if _, err := Unmarshal(tokHdr); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short token body: %v", err)
+	}
+}
+
+// TestAcceptedBytesAreCanonical asserts the byte-level half of the
+// round-trip contract on hand-built inputs.
+func TestAcceptedBytesAreCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		var p Packet
+		if i%2 == 0 {
+			p = NewCoded(i, i*3, rlnc.Coded{K: i % 9, Vec: gf.RandomBitVec(i%9+i%31, rng.Uint64)})
+		} else {
+			p = NewToken(i, i*3, token.Random(token.NewUID(i, 0), i%67, rng))
+		}
+		b := p.Marshal()
+		q, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(q.Marshal(), b) {
+			t.Fatalf("packet %d: re-marshal differs", i)
+		}
+	}
+}
+
+func TestMarshalUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown envelope type")
+		}
+	}()
+	Packet{Env: Envelope{Version: Version, Type: 9}}.Marshal()
+}
