@@ -10,6 +10,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/central"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/rlnc"
 	"repro/internal/sim"
 	"repro/internal/stable"
+	"repro/internal/stream"
 	"repro/internal/token"
 	"repro/internal/wire"
 )
@@ -296,6 +298,71 @@ func BenchmarkE11GossipUnderLoss(b *testing.B) {
 	b.ReportMetric(float64(codedTicks), "coded-ticks")
 	b.ReportMetric(float64(fwdTicks), "fwd-ticks")
 	b.ReportMetric(float64(fwdTicks)/float64(codedTicks), "fwd/coded")
+}
+
+// BenchmarkE12StreamWindows regenerates the E12 separation at
+// benchmark size: the same lossy token stream at W = 1 (sequential)
+// and W = 4 (pipelined), reporting sustained tokens/tick for both.
+func BenchmarkE12StreamWindows(b *testing.B) {
+	const n, k, d, gens, loss = 16, 8, 64, 8, 0.3
+	ctx := context.Background()
+	var seqTicks, pipeTicks int
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range []struct {
+			window int
+			out    *int
+		}{{1, &seqTicks}, {4, &pipeTicks}} {
+			tr := cluster.WithLoss(cluster.NewChanTransport(n, stream.InboxBuffer(n, 2)), loss, int64(i)+77)
+			res, err := stream.Run(ctx, stream.Config{
+				N: n, K: k, PayloadBits: d, Window: cfg.window, Generations: gens,
+				Seed: int64(i), Transport: tr, Lockstep: true, MaxTicks: 500000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatalf("W=%d stream incomplete", cfg.window)
+			}
+			*cfg.out = res.Ticks
+		}
+	}
+	tokens := float64(k * gens)
+	b.ReportMetric(tokens/float64(seqTicks), "seq-tok/tick")
+	b.ReportMetric(tokens/float64(pipeTicks), "pipe-tok/tick")
+	b.ReportMetric(float64(seqTicks)/float64(pipeTicks), "pipe/seq-speedup")
+}
+
+// BenchmarkStreamSustained times the pipelined streaming runtime end to
+// end (lockstep, lossless) and reports the three sustained-throughput
+// figures the streaming layer is accountable for: wall-clock tokens
+// per second, protocol bits per delivered stream token, and peak span
+// memory held per node.
+func BenchmarkStreamSustained(b *testing.B) {
+	const n, k, d, gens, w = 16, 16, 128, 8, 4
+	ctx := context.Background()
+	var ticks int
+	var bitsPerTok, spanPeak float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := stream.Run(ctx, stream.Config{
+			N: n, K: k, PayloadBits: d, Window: w, Generations: gens,
+			Seed: int64(i), Lockstep: true, MaxTicks: 500000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("stream incomplete")
+		}
+		ticks = res.Ticks
+		bitsPerTok = float64(res.BitsOut) / float64(k*gens)
+		spanPeak = float64(res.MaxSpanBytes)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(k*gens*b.N)/elapsed, "tokens/sec")
+	b.ReportMetric(float64(k*gens)/float64(ticks), "tokens/tick")
+	b.ReportMetric(bitsPerTok, "bits/token")
+	b.ReportMetric(spanPeak, "span-bytes/node")
 }
 
 // BenchmarkWireRoundTrip times the codec on a cluster-sized coded

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/token"
@@ -59,6 +60,9 @@ func main() {
 
 func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
 	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int) error {
+	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
+		return err
+	}
 	var mode cluster.Mode
 	switch modeName {
 	case "coded":
@@ -68,29 +72,16 @@ func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed 
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
-	lockstep := false
-	switch tp {
-	case "chan":
-	case "lockstep":
-		lockstep = true
-	default:
-		return fmt.Errorf("unknown transport %q", tp)
+	lockstep, err := cliutil.ParseTransport(tp)
+	if err != nil {
+		return err
 	}
 	if buffer == 0 {
 		buffer = 4 * n * fanout
 	}
-	var tr cluster.Transport = cluster.NewChanTransport(n, buffer)
-	if delay > 0 {
-		if lockstep {
-			return fmt.Errorf("-delay needs wall-clock time; use -transport chan")
-		}
-		tr = cluster.WithDelay(tr, delay/10, delay, seed+101)
-	}
-	if reorder > 0 {
-		tr = cluster.WithReorder(tr, reorder, seed+102)
-	}
-	if loss > 0 {
-		tr = cluster.WithLoss(tr, loss, seed+103)
+	tr, err := cliutil.BuildTransport(n, buffer, lockstep, delay, reorder, loss, seed)
+	if err != nil {
+		return err
 	}
 
 	toks := token.RandomSet(k, payload, rand.New(rand.NewSource(seed)))

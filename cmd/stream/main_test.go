@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// runArgs calls run with defaults, overridden per case, so the tests
+// exercise exactly the code path main dispatches to.
+type runArgs struct {
+	n, k, payload, window, gens int
+	loss                        float64
+	fanout                      int
+	tp                          string
+	seed                        int64
+	reorder                     float64
+	buffer, maxTick             int
+}
+
+func defaults() runArgs {
+	return runArgs{n: 8, k: 4, payload: 32, window: 2, gens: 3, fanout: 2, tp: "lockstep", seed: 1}
+}
+
+func (a runArgs) run() error {
+	return run(a.n, a.k, a.payload, a.window, a.gens, a.loss, a.fanout, a.tp, a.seed,
+		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick)
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*runArgs)
+		want string
+	}{
+		{"n too small", func(a *runArgs) { a.n = 1 }, "-n"},
+		{"n negative", func(a *runArgs) { a.n = -3 }, "-n"},
+		{"k zero", func(a *runArgs) { a.k = 0 }, "-k"},
+		{"payload zero", func(a *runArgs) { a.payload = 0 }, "-payload"},
+		{"window zero", func(a *runArgs) { a.window = 0 }, "-window"},
+		{"generations zero", func(a *runArgs) { a.gens = 0 }, "-generations"},
+		{"fanout zero", func(a *runArgs) { a.fanout = 0 }, "-fanout"},
+		{"loss negative", func(a *runArgs) { a.loss = -0.1 }, "-loss"},
+		{"loss one", func(a *runArgs) { a.loss = 1.0 }, "-loss"},
+		{"reorder negative", func(a *runArgs) { a.reorder = -0.5 }, "-reorder"},
+		{"reorder one", func(a *runArgs) { a.reorder = 1.5 }, "-reorder"},
+		{"unknown transport", func(a *runArgs) { a.tp = "carrier-pigeon" }, "transport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := defaults()
+			tc.mut(&a)
+			err := a.run()
+			if err == nil {
+				t.Fatalf("bad flags accepted: %+v", a)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunLockstepSmallCompletes(t *testing.T) {
+	if err := defaults().run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSequentialWindowCompletes(t *testing.T) {
+	a := defaults()
+	a.window = 1
+	a.loss = 0.2
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,15 +13,21 @@
 //
 // Beside the synchronous simulator sits an asynchronous execution
 // model: internal/wire (binary packet codec, fuzz-tested to round-trip
-// exactly) and internal/cluster (goroutine-per-node recoding gossip
-// over pluggable transports with loss/delay/reorder/partition
-// middlewares, plus a deterministic lockstep mode). Try it with
+// exactly), internal/cluster (goroutine-per-node recoding gossip over
+// pluggable transports with loss/delay/reorder/partition middlewares,
+// plus a deterministic lockstep mode), and internal/stream (pipelined
+// multi-generation streaming: an unbounded token stream chunked into
+// generations, a sliding window of them gossiped concurrently, acks
+// retiring decoded generations so memory stays bounded). Try them with
 //
 //	go run ./cmd/cluster -n 64 -k 32 -loss 0.2
 //	go run ./cmd/cluster -transport lockstep -seed 7
+//	go run ./cmd/stream -n 32 -k 16 -generations 16 -loss 0.2
+//	go run ./cmd/stream -window 1 -transport lockstep    # sequential baseline
 //
-// and see experiment E11 (DESIGN.md "Async cluster runtime") for coded
-// vs store-and-forward gossip under loss.
+// and see experiments E11 (DESIGN.md "Async cluster runtime") for
+// coded vs store-and-forward gossip under loss and E12 (DESIGN.md
+// "Streaming layer") for what window pipelining buys.
 //
 // The benchmark suite in bench_test.go regenerates every experiment;
 // see DESIGN.md for the experiment index and implementation notes, and

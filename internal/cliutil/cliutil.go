@@ -1,0 +1,65 @@
+// Package cliutil holds the flag validation and transport assembly
+// shared by the gossip CLIs (cmd/cluster and cmd/stream), so the two
+// surfaces cannot drift: one validator, one transport parser, one
+// middleware stacking order.
+package cliutil
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ValidateGossip rejects the flag values common to every gossip CLI
+// that would panic, hang, or silently misbehave deeper in the stack.
+func ValidateGossip(n, k, payload, fanout int, loss, reorder float64) error {
+	switch {
+	case n < 2:
+		return fmt.Errorf("-n must be at least 2 (gossip needs a peer), got %d", n)
+	case k < 1:
+		return fmt.Errorf("-k must be at least 1, got %d", k)
+	case payload < 1:
+		return fmt.Errorf("-payload must be at least 1 bit, got %d", payload)
+	case fanout < 1:
+		return fmt.Errorf("-fanout must be at least 1, got %d", fanout)
+	case loss < 0 || loss >= 1:
+		return fmt.Errorf("-loss must be in [0,1), got %g", loss)
+	case reorder < 0 || reorder >= 1:
+		return fmt.Errorf("-reorder must be in [0,1), got %g", reorder)
+	}
+	return nil
+}
+
+// ParseTransport maps the -transport flag to the lockstep switch.
+func ParseTransport(name string) (lockstep bool, err error) {
+	switch name {
+	case "chan":
+		return false, nil
+	case "lockstep":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown transport %q", name)
+	}
+}
+
+// BuildTransport assembles the CLI middleware stack over a fresh
+// ChanTransport in the canonical order — loss over reorder over delay —
+// with the per-middleware seed offsets every CLI uses. Delay needs wall
+//-clock time, so it is rejected under the lockstep driver.
+func BuildTransport(n, buffer int, lockstep bool, delay time.Duration, reorder, loss float64, seed int64) (cluster.Transport, error) {
+	var tr cluster.Transport = cluster.NewChanTransport(n, buffer)
+	if delay > 0 {
+		if lockstep {
+			return nil, fmt.Errorf("-delay needs wall-clock time; use -transport chan")
+		}
+		tr = cluster.WithDelay(tr, delay/10, delay, seed+101)
+	}
+	if reorder > 0 {
+		tr = cluster.WithReorder(tr, reorder, seed+102)
+	}
+	if loss > 0 {
+		tr = cluster.WithLoss(tr, loss, seed+103)
+	}
+	return tr, nil
+}

@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateGossip(t *testing.T) {
+	if err := ValidateGossip(2, 1, 1, 1, 0, 0); err != nil {
+		t.Fatalf("minimal valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name                  string
+		n, k, payload, fanout int
+		loss, reorder         float64
+		want                  string
+	}{
+		{"n", 1, 4, 32, 2, 0, 0, "-n"},
+		{"k", 8, 0, 32, 2, 0, 0, "-k"},
+		{"payload", 8, 4, 0, 2, 0, 0, "-payload"},
+		{"fanout", 8, 4, 32, 0, 0, 0, "-fanout"},
+		{"loss low", 8, 4, 32, 2, -0.1, 0, "-loss"},
+		{"loss high", 8, 4, 32, 2, 1, 0, "-loss"},
+		{"reorder low", 8, 4, 32, 2, 0, -1, "-reorder"},
+		{"reorder high", 8, 4, 32, 2, 0, 1.2, "-reorder"},
+	}
+	for _, tc := range cases {
+		err := ValidateGossip(tc.n, tc.k, tc.payload, tc.fanout, tc.loss, tc.reorder)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseTransport(t *testing.T) {
+	if ls, err := ParseTransport("chan"); err != nil || ls {
+		t.Errorf("chan -> %v, %v", ls, err)
+	}
+	if ls, err := ParseTransport("lockstep"); err != nil || !ls {
+		t.Errorf("lockstep -> %v, %v", ls, err)
+	}
+	if _, err := ParseTransport("smoke-signals"); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestBuildTransportRejectsLockstepDelay(t *testing.T) {
+	if _, err := BuildTransport(4, 8, true, time.Millisecond, 0, 0, 1); err == nil {
+		t.Error("delay under lockstep accepted")
+	}
+	tr, err := BuildTransport(4, 8, true, 0, 0.2, 0.3, 1)
+	if err != nil || tr == nil {
+		t.Fatalf("valid lockstep stack rejected: %v", err)
+	}
+	tr.Close()
+}

@@ -193,12 +193,14 @@ type gossiper interface {
 	verify(toks []token.Token) error
 }
 
-// tokenVec flattens a token to the bit vector the coded mode codes
-// over: 64 UID bits (LSB-first) followed by the payload. Coding the UID
+// TokenVec flattens a token to the bit vector coded gossip codes over:
+// 64 UID bits (LSB-first) followed by the payload. Coding the UID
 // alongside the payload keeps the coded and forward modes
 // information-equivalent, so their Bits() costs are honestly
-// comparable.
-func tokenVec(t token.Token) gf.BitVec {
+// comparable. It is shared node plumbing: internal/stream codes every
+// generation with the same flattening so stream and cluster packets are
+// byte-compatible.
+func TokenVec(t token.Token) gf.BitVec {
 	v := gf.NewBitVec(token.UIDBits + t.D())
 	u := uint64(t.UID)
 	for b := 0; b < token.UIDBits; b++ {
@@ -210,8 +212,8 @@ func tokenVec(t token.Token) gf.BitVec {
 	return v
 }
 
-// vecToken inverts tokenVec.
-func vecToken(v gf.BitVec) token.Token {
+// VecToken inverts TokenVec.
+func VecToken(v gf.BitVec) token.Token {
 	var u uint64
 	for b := 0; b < token.UIDBits; b++ {
 		if v.Bit(b) {
@@ -255,7 +257,7 @@ func (c *codedNode) verify(toks []token.Token) error {
 		return fmt.Errorf("node %d: %w", c.id, err)
 	}
 	for i, v := range vecs {
-		if got := vecToken(v); !got.Equal(toks[i]) {
+		if got := VecToken(v); !got.Equal(toks[i]) {
 			return fmt.Errorf("node %d: token %d decoded to %v, want %v", c.id, i, got.UID, toks[i].UID)
 		}
 	}
@@ -333,7 +335,7 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 		case Coded:
 			span := rlnc.NewSpan(k, token.UIDBits+d)
 			for j := i; j < k; j += cfg.N {
-				span.Add(rlnc.Encode(j, k, tokenVec(toks[j])))
+				span.Add(rlnc.Encode(j, k, TokenVec(toks[j])))
 			}
 			nodes[i] = &codedNode{id: i, span: span, rng: rngs[i]}
 		case Forward:

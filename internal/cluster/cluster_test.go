@@ -175,6 +175,127 @@ func TestPartitionBlocksThenHeals(t *testing.T) {
 	}
 }
 
+// TestFullMiddlewareStackThenHeal composes all four transport
+// middlewares at once — WithLoss ∘ WithDelay ∘ WithReorder ∘
+// WithPartition — over a cluster split into halves holding disjoint
+// tokens. While the cut is up no run can complete; once the blocked
+// predicate flips to false, dissemination must finish through the full
+// hostile stack.
+func TestFullMiddlewareStackThenHeal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration test skipped with -short")
+	}
+	const n, k, d = 12, 12, 64
+	cut := func(from, to int) bool { return (from < n/2) != (to < n/2) }
+	var partitioned atomic.Bool
+
+	stack := func() Transport {
+		var tr Transport = NewChanTransport(n, 8*n)
+		tr = WithPartition(tr, func(from, to int) bool {
+			return partitioned.Load() && cut(from, to)
+		})
+		tr = WithReorder(tr, 0.3, 31)
+		tr = WithDelay(tr, 50*time.Microsecond, time.Millisecond, 32)
+		tr = WithLoss(tr, 0.15, 33)
+		return tr
+	}
+
+	// Permanent partition under the full stack: must time out incomplete.
+	partitioned.Store(true)
+	res, err := Run(context.Background(), Config{N: n, Seed: 2, Transport: stack(), Timeout: 400 * time.Millisecond},
+		testTokens(k, d, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("completed across a permanent partition")
+	}
+
+	// Heal mid-run: the same stack must then deliver everything.
+	partitioned.Store(true)
+	heal := time.AfterFunc(100*time.Millisecond, func() { partitioned.Store(false) })
+	defer heal.Stop()
+	res, err = Run(context.Background(), Config{N: n, Seed: 2, Transport: stack(), Timeout: 20 * time.Second},
+		testTokens(k, d, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete after the partition healed under loss+delay+reorder")
+	}
+	if res.Dropped == 0 {
+		t.Error("no drops recorded with loss 0.15 plus a temporary partition")
+	}
+}
+
+// TestStackedMiddlewaresDeliver checks the composed stack at the
+// transport level, without the runtime: a blocked partition stops every
+// packet no matter what loss/delay/reorder do above it, and once
+// blocked is false every packet the stack accepts arrives intact at its
+// addressee, exactly once (delay and reorder never lose or duplicate
+// accepted packets).
+func TestStackedMiddlewaresDeliver(t *testing.T) {
+	const sends = 400
+	stack := func(blocked *atomic.Bool) (Transport, *ChanTransport) {
+		inner := NewChanTransport(2, sends+1)
+		var tr Transport = WithPartition(inner, func(from, to int) bool { return blocked.Load() })
+		tr = WithReorder(tr, 0.4, 41)
+		tr = WithDelay(tr, 0, 2*time.Millisecond, 42)
+		tr = WithLoss(tr, 0.25, 43)
+		return tr, inner
+	}
+
+	// Blocked cut: nothing may reach the inbox, however long we wait for
+	// the delay/reorder layers to flush.
+	var blocked atomic.Bool
+	blocked.Store(true)
+	cutTr, cutInner := stack(&blocked)
+	for i := 0; i < 50; i++ {
+		cutTr.Send(0, 1, []byte{byte(i)})
+	}
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case p := <-cutInner.Recv(1):
+		t.Fatalf("packet %d delivered across a blocked partition", p[0])
+	default:
+	}
+
+	// Healed cut: the stack delivers what it accepts, without duplicates.
+	var healed atomic.Bool
+	tr, _ := stack(&healed)
+	accepted := 0
+	for i := 0; i < sends; i++ {
+		if tr.Send(0, 1, []byte{byte(i)}) {
+			accepted++
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	var got []byte
+	for len(got) < accepted-1 { // reorder may park one packet forever
+		select {
+		case p := <-tr.Recv(1):
+			got = append(got, p[0])
+		case <-deadline:
+			t.Fatalf("only %d of %d accepted packets arrived", len(got), accepted)
+		}
+	}
+	frac := float64(accepted) / sends
+	if frac < 0.6 || frac > 0.9 {
+		t.Errorf("accepted fraction %.2f at loss 0.25, want ~0.75", frac)
+	}
+	counts := make(map[byte]int)
+	for _, b := range got {
+		counts[b]++
+	}
+	for b, c := range counts {
+		// Packet payloads repeat every 256 sends; with 400 sends a byte
+		// value may legitimately arrive twice, never three times.
+		if c > 2 {
+			t.Fatalf("packet %d delivered %d times through the stack", b, c)
+		}
+	}
+}
+
 func TestChanTransportDropsOnFullInbox(t *testing.T) {
 	tr := NewChanTransport(2, 1)
 	if !tr.Send(0, 1, []byte{1}) {

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{"E9", "end-game: one XOR replaces ~k/2 forwarding rounds (Sec 5.2)", E9},
 		{"E10", "centralized coding is linear-time at b = d (Cor 2.6)", E10},
 		{"E11", "async coded gossip beats store-and-forward under loss (Thm 2.3, cluster runtime)", E11},
+		{"E12", "pipelined generation windows beat sequential streaming under loss (perfect pipelining, stream runtime)", E12},
 	}
 }
 

@@ -148,6 +148,28 @@ func (m *BitMatrix) SpansUnitPrefix(prefix int) bool {
 	return pivots == prefix
 }
 
+// Reset clears the matrix back to rank zero while keeping the column
+// count, so a decoder slot can be reused for a new coding generation
+// without reallocating the row and pivot slices.
+func (m *BitMatrix) Reset() {
+	for i := range m.rows {
+		m.rows[i] = BitVec{} // release row storage to the GC
+	}
+	m.rows = m.rows[:0]
+	m.lead = m.lead[:0]
+}
+
+// MemoryBytes returns the approximate heap bytes held by the matrix:
+// the packed row words plus the row/pivot bookkeeping slices. It is the
+// per-generation memory figure the streaming layer reports.
+func (m *BitMatrix) MemoryBytes() int {
+	b := 8*cap(m.lead) + 24*cap(m.rows)
+	for _, r := range m.rows {
+		b += 8 * len(r.w)
+	}
+	return b
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *BitMatrix) Clone() *BitMatrix {
 	c := &BitMatrix{

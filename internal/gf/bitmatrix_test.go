@@ -187,3 +187,43 @@ func TestBitMatrixReduceDoesNotMutate(t *testing.T) {
 		t.Error("Reduce mutated its input")
 	}
 }
+
+// TestBitMatrixResetReuse pins the lifecycle primitive the streaming
+// layer's span pool relies on: Reset returns the matrix to rank zero
+// and a reset matrix is indistinguishable from a fresh one.
+func TestBitMatrixResetReuse(t *testing.T) {
+	m := NewBitMatrix(4)
+	for _, s := range []string{"1100", "0110", "0001"} {
+		m.Insert(bvFromString(t, s))
+	}
+	if m.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", m.Rank())
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Errorf("MemoryBytes = %d for a rank-3 matrix", m.MemoryBytes())
+	}
+
+	m.Reset()
+	if m.Rank() != 0 || m.Cols() != 4 {
+		t.Fatalf("after Reset: rank %d cols %d, want 0 and 4", m.Rank(), m.Cols())
+	}
+	if v := bvFromString(t, "1100"); m.Contains(v) {
+		t.Error("reset matrix still contains an old row")
+	}
+
+	// A reset matrix must accept a fresh basis exactly like a new one.
+	fresh := NewBitMatrix(4)
+	for _, s := range []string{"1010", "0101", "1111", "0011"} {
+		if got, want := m.Insert(bvFromString(t, s)), fresh.Insert(bvFromString(t, s)); got != want {
+			t.Errorf("insert %s after reset: grew=%v, fresh matrix says %v", s, got, want)
+		}
+	}
+	if m.Rank() != fresh.Rank() {
+		t.Errorf("rank %d after reuse, fresh matrix has %d", m.Rank(), fresh.Rank())
+	}
+	for i := 0; i < m.Rank(); i++ {
+		if !m.Row(i).Equal(fresh.Row(i)) || m.Lead(i) != fresh.Lead(i) {
+			t.Errorf("row %d differs between reused and fresh matrix", i)
+		}
+	}
+}

@@ -212,3 +212,15 @@ func (s *Span) DecodableCount() int {
 func (s *Span) Clone() *Span {
 	return &Span{k: s.k, payload: s.payload, mat: s.mat.Clone()}
 }
+
+// Reset empties the span for reuse with a fresh coding generation of
+// the same dimensions, keeping the basis bookkeeping allocated. It is
+// the lifecycle primitive behind the streaming layer's span pool: a
+// retired generation's span is Reset and handed to the next generation
+// instead of being reallocated.
+func (s *Span) Reset() { s.mat.Reset() }
+
+// MemoryBytes returns the approximate heap bytes held by the span's
+// basis — the quantity a windowed streaming node must bound by retiring
+// decoded generations.
+func (s *Span) MemoryBytes() int { return s.mat.MemoryBytes() }

@@ -313,3 +313,55 @@ func TestRandomCombinationDecodable(t *testing.T) {
 		}
 	}
 }
+
+// TestSpanResetReuse pins the span lifecycle used by the streaming
+// layer: a span that decoded one generation is Reset and reused for the
+// next generation's vectors, with no state leaking across generations.
+func TestSpanResetReuse(t *testing.T) {
+	const k, d = 4, 16
+	rng := rand.New(rand.NewSource(11))
+	s := NewSpan(k, d)
+
+	fill := func(seed int64) []gf.BitVec {
+		prng := rand.New(rand.NewSource(seed))
+		payloads := make([]gf.BitVec, k)
+		for i := range payloads {
+			payloads[i] = gf.RandomBitVec(d, prng.Uint64)
+			s.Add(Encode(i, k, payloads[i]))
+		}
+		return payloads
+	}
+
+	first := fill(1)
+	if !s.CanDecode() {
+		t.Fatal("span not decodable after k unit inserts")
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Errorf("MemoryBytes = %d for a full-rank span", s.MemoryBytes())
+	}
+
+	s.Reset()
+	if s.Rank() != 0 || s.CanDecode() {
+		t.Fatalf("after Reset: rank %d decodable %v", s.Rank(), s.CanDecode())
+	}
+	if s.K() != k || s.PayloadBits() != d {
+		t.Fatalf("Reset changed dimensions to k=%d d=%d", s.K(), s.PayloadBits())
+	}
+	if _, ok := s.RandomCombination(rng); ok {
+		t.Error("empty reset span emitted a combination")
+	}
+
+	second := fill(2)
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !got[i].Equal(second[i]) {
+			t.Errorf("token %d decoded to the wrong payload after reuse", i)
+		}
+		if got[i].Equal(first[i]) {
+			t.Errorf("token %d leaked the previous generation's payload", i)
+		}
+	}
+}

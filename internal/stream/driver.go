@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// runLockstep is the deterministic driver: per tick, every node drains
+// its inbox in id order, completion is recorded, then every node pushes
+// fanout data packets plus one ack. With a seeded Config the whole run
+// — including middleware coin flips — is a pure function of the seed;
+// context cancellation (checked once per tick) only ever cuts a run
+// short, it cannot change the ticks that did execute.
+func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*node, res *Result) error {
+	firstErr := func() error {
+		for _, nd := range nodes {
+			if nd.err != nil {
+				return nd.err
+			}
+		}
+		return nil
+	}
+	complete := func(tick int) bool {
+		all := true
+		for _, nd := range nodes {
+			if !nd.m.Done && nd.done() {
+				nd.m.Done = true
+				nd.m.DoneTick = tick
+			}
+			all = all && nd.m.Done
+		}
+		return all
+	}
+
+	for _, nd := range nodes {
+		nd.prime()
+	}
+	if err := firstErr(); err != nil {
+		return err
+	}
+	if complete(0) {
+		res.Completed = true
+		return nil
+	}
+	for tick := 1; tick <= cfg.maxTicks(); tick++ {
+		select {
+		case <-ctx.Done():
+			res.Ticks = tick - 1
+			return nil
+		default:
+		}
+		for _, nd := range nodes {
+			inbox := tr.Recv(nd.id)
+			for drained := false; !drained; {
+				select {
+				case raw := <-inbox:
+					if p, err := wire.Unmarshal(raw); err == nil {
+						nd.absorb(p)
+					}
+				default:
+					drained = true
+				}
+			}
+		}
+		if err := firstErr(); err != nil {
+			return err
+		}
+		if complete(tick) {
+			res.Completed = true
+			res.Ticks = tick
+			return nil
+		}
+		for _, nd := range nodes {
+			nd.pushData(tr)
+			nd.pushAck(tr)
+		}
+	}
+	res.Ticks = cfg.maxTicks()
+	return nil
+}
+
+// runAsync is the goroutine-per-node execution: ticker-paced data and
+// ack emission plus an immediate data push after every packet that made
+// progress (an innovative combination or a watermark advance, either of
+// which can open new window generations).
+func runAsync(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*node, res *Result, start time.Time) error {
+	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
+	defer cancel()
+
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.N))
+	allDone := make(chan struct{})
+	errCh := make(chan error, cfg.N)
+
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.N; id++ {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			fail := func() bool {
+				if nd.err == nil {
+					return false
+				}
+				errCh <- nd.err
+				cancel()
+				return true
+			}
+			markDone := func() {
+				if nd.m.Done || !nd.done() {
+					return
+				}
+				nd.m.Done = true
+				nd.m.DoneAt = time.Since(start)
+				if remaining.Add(-1) == 0 {
+					close(allDone)
+				}
+			}
+			nd.prime()
+			if fail() {
+				return
+			}
+			markDone() // n == 1, or a window the node sources alone
+			ticker := time.NewTicker(cfg.interval())
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case raw := <-tr.Recv(nd.id):
+					p, err := wire.Unmarshal(raw)
+					if err != nil {
+						continue
+					}
+					if nd.absorb(p) {
+						if fail() {
+							return
+						}
+						markDone()
+						nd.pushData(tr)
+					}
+				case <-ticker.C:
+					nd.pushData(tr)
+					nd.pushAck(tr)
+				}
+			}
+		}(nodes[id])
+	}
+
+	var err error
+	select {
+	case <-allDone:
+		res.Completed = true
+	case err = <-errCh:
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
+	if err == nil {
+		select {
+		case err = <-errCh:
+		default:
+		}
+	}
+	return err
+}

@@ -1,0 +1,418 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/rlnc"
+	"repro/internal/token"
+	"repro/internal/wire"
+)
+
+// newGenRand returns the PRNG for generation g of a seeded stream. The
+// multiplier just separates the per-generation streams.
+func newGenRand(seed int64, g int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 1000003*int64(g) + 1))
+}
+
+// genOwner returns the node where token j of generation g originates.
+// Origins rotate across the cluster so every node takes sourcing turns.
+func genOwner(g, k, j, n int) int { return (g*k + j) % n }
+
+// genState is one live generation at one node.
+type genState struct {
+	span *rlnc.Span
+	// decoded is set once the span reaches full coefficient rank; the
+	// span stays live for recoding to stragglers until the generation
+	// retires below the cluster-wide watermark frontier.
+	decoded bool
+	// ackedFull[i] records that node i's ack reported full rank for
+	// this generation; ackedCount counts them. Once every peer has,
+	// emitting the generation is pure waste and it leaves the emission
+	// rotation early, ahead of the watermark frontier retiring it.
+	ackedFull  []bool
+	ackedCount int
+}
+
+// node is the per-node streaming protocol state, shared by the lockstep
+// and async drivers. All methods are single-threaded per node: the
+// lockstep driver calls them from one goroutine, the async driver from
+// the node's own goroutine.
+type node struct {
+	id      int
+	n       int
+	k       int
+	d       int // payload bits
+	vecBits int // k + UIDBits + d, the span's column count
+	window  int
+	gens    int
+	fanout  int
+	src     Source
+	rng     *rand.Rand
+	deliver DeliverFunc
+
+	// base is the retirement frontier: the oldest generation not yet
+	// known to be decoded by every node (== min over marks). Spans
+	// below base are GC'd.
+	base int
+	// spans holds the live generations, keyed by generation number.
+	spans map[int]*genState
+	// pool holds Reset spans for reuse by future generations.
+	pool []*rlnc.Span
+	// marks[i] is the highest delivery watermark learned for node i
+	// (marks[id] is maintained locally as delivered).
+	marks []int
+	// delivered is the number of generations decoded and handed to the
+	// consumer, in order.
+	delivered int
+	// cursor round-robins data emissions across the active window.
+	cursor int
+	// cands is the emission candidate scratch buffer.
+	cands []int
+
+	m *NodeMetrics
+	// err records a delivery verification failure; the drivers abort
+	// the run when set.
+	err error
+}
+
+func newNode(id int, cfg Config, src Source, m *NodeMetrics) *node {
+	return &node{
+		id:      id,
+		n:       cfg.N,
+		k:       cfg.K,
+		d:       cfg.PayloadBits,
+		vecBits: cfg.K + token.UIDBits + cfg.PayloadBits,
+		window:  cfg.window(),
+		gens:    cfg.Generations,
+		fanout:  cfg.fanout(),
+		src:     src,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 7919*int64(id) + 1)),
+		deliver: cfg.Deliver,
+		spans:   make(map[int]*genState),
+		marks:   make([]int, cfg.N),
+		m:       m,
+	}
+}
+
+// ensureGen returns generation g's state, creating the span (from the
+// pool when possible) and injecting this node's source tokens on first
+// touch. It must only be called for g in [base, gens).
+func (nd *node) ensureGen(g int) *genState {
+	if gs, ok := nd.spans[g]; ok {
+		return gs
+	}
+	var span *rlnc.Span
+	if len(nd.pool) > 0 {
+		span = nd.pool[len(nd.pool)-1]
+		nd.pool = nd.pool[:len(nd.pool)-1]
+	} else {
+		span = rlnc.NewSpan(nd.k, token.UIDBits+nd.d)
+	}
+	gs := &genState{span: span}
+	nd.spans[g] = gs
+
+	owned := false
+	for j := 0; j < nd.k; j++ {
+		if genOwner(g, nd.k, j, nd.n) == nd.id {
+			owned = true
+			break
+		}
+	}
+	if owned {
+		toks := nd.src.Generation(g)
+		for j := 0; j < nd.k; j++ {
+			if genOwner(g, nd.k, j, nd.n) == nd.id {
+				gs.span.Add(rlnc.Encode(j, nd.k, cluster.TokenVec(toks[j])))
+			}
+		}
+		nd.checkDecoded(g, gs)
+	}
+	if len(nd.spans) > nd.m.MaxActiveGens {
+		nd.m.MaxActiveGens = len(nd.spans)
+	}
+	return gs
+}
+
+// checkDecoded marks g decoded once its span has full coefficient rank
+// and pushes the in-order delivery frontier as far as it now reaches.
+func (nd *node) checkDecoded(g int, gs *genState) {
+	if !gs.decoded && gs.span.CanDecode() {
+		gs.decoded = true
+	}
+	nd.deliverReady()
+}
+
+// deliverReady decodes, verifies and delivers generations in order,
+// advancing this node's watermark.
+func (nd *node) deliverReady() {
+	for nd.delivered < nd.gens {
+		gs, ok := nd.spans[nd.delivered]
+		if !ok || !gs.decoded {
+			return
+		}
+		g := nd.delivered
+		vecs, err := gs.span.Decode()
+		if err != nil {
+			nd.err = fmt.Errorf("stream: node %d generation %d: %w", nd.id, g, err)
+			return
+		}
+		toks := make([]token.Token, len(vecs))
+		for j, v := range vecs {
+			toks[j] = cluster.VecToken(v)
+		}
+		for j, want := range nd.src.Generation(g) {
+			if !toks[j].Equal(want) {
+				nd.err = fmt.Errorf("stream: node %d generation %d token %d decoded to %v, want %v",
+					nd.id, g, j, toks[j].UID, want.UID)
+				return
+			}
+		}
+		nd.delivered++
+		nd.marks[nd.id] = nd.delivered
+		nd.m.Delivered = nd.delivered
+		if nd.deliver != nil {
+			nd.deliver(nd.id, g, toks)
+		}
+	}
+}
+
+// gc retires every generation below the cluster-wide watermark
+// frontier: their spans are Reset into the pool and the window slides.
+func (nd *node) gc() {
+	floor := nd.marks[0]
+	for _, w := range nd.marks[1:] {
+		if w < floor {
+			floor = w
+		}
+	}
+	for g := nd.base; g < floor; g++ {
+		if gs, ok := nd.spans[g]; ok {
+			gs.span.Reset()
+			nd.pool = append(nd.pool, gs.span)
+			delete(nd.spans, g)
+		}
+	}
+	if floor > nd.base {
+		nd.base = floor
+	}
+}
+
+// advance retires what the frontier allows and opens every generation
+// the window now admits, looping until the state is stable: opening a
+// window generation can decode and deliver it on the spot (a node that
+// sources a whole generation, or n = 1), which moves the frontier and
+// admits the next one.
+func (nd *node) advance() {
+	for {
+		prevBase, prevDelivered := nd.base, nd.delivered
+		nd.gc()
+		hi := nd.base + nd.window
+		if hi > nd.gens {
+			hi = nd.gens
+		}
+		for g := nd.base; g < hi; g++ {
+			nd.ensureGen(g)
+		}
+		if nd.base == prevBase && nd.delivered == prevDelivered {
+			break
+		}
+	}
+	nd.noteMemory()
+}
+
+// noteMemory samples the current span footprint into the peak metrics.
+func (nd *node) noteMemory() {
+	bytes := 0
+	for _, gs := range nd.spans {
+		bytes += gs.span.MemoryBytes()
+	}
+	if bytes > nd.m.MaxSpanBytes {
+		nd.m.MaxSpanBytes = bytes
+	}
+	if len(nd.spans) > nd.m.MaxActiveGens {
+		nd.m.MaxActiveGens = len(nd.spans)
+	}
+}
+
+// prime opens the node's initial window so origins have something to
+// say before any packet arrives, and delivers whatever is
+// self-contained (the n = 1 case decodes everything right here).
+func (nd *node) prime() { nd.advance() }
+
+// done reports whether the node has delivered the whole stream.
+func (nd *node) done() bool { return nd.delivered >= nd.gens }
+
+// absorb ingests one packet, reporting whether it changed this node's
+// state (grew a span or advanced a watermark) — the async driver's
+// emit-on-progress trigger.
+func (nd *node) absorb(p wire.Packet) bool {
+	switch p.Env.Type {
+	case wire.TypeCoded:
+		nd.m.PacketsIn++
+		g := int(p.Env.Epoch)
+		if g < nd.base || g >= nd.gens {
+			nd.m.Stale++
+			return false
+		}
+		cd := p.Coded
+		if cd.K != nd.k || cd.Vec.Len() != nd.vecBits {
+			return false
+		}
+		gs := nd.ensureGen(g)
+		if gs.decoded || !gs.span.Add(cd) {
+			return false
+		}
+		nd.m.Innovative++
+		nd.checkDecoded(g, gs)
+		nd.advance()
+		return true
+	case wire.TypeAck:
+		nd.m.AcksIn++
+		changed := nd.mergeMark(int(p.Env.Sender), int(p.Ack.Watermark))
+		for _, pm := range p.Ack.Peers {
+			changed = nd.mergeMark(int(pm.Node), int(pm.Watermark)) || changed
+		}
+		for _, gr := range p.Ack.Ranks {
+			nd.markRank(int(p.Env.Sender), int(gr.Gen), int(gr.Rank))
+		}
+		if changed {
+			nd.advance()
+		}
+		return changed
+	}
+	return false
+}
+
+// markRank folds one first-person rank summary entry into the
+// generation's full-rank tally. Ranks never regress, so a set bit is
+// permanent; only live spans are updated (the hint is worthless once
+// the generation retired, and not worth opening a span for).
+func (nd *node) markRank(sender, g, rank int) {
+	if rank < nd.k || sender < 0 || sender >= nd.n || sender == nd.id {
+		return
+	}
+	gs, ok := nd.spans[g]
+	if !ok {
+		return
+	}
+	if gs.ackedFull == nil {
+		gs.ackedFull = make([]bool, nd.n)
+	}
+	if !gs.ackedFull[sender] {
+		gs.ackedFull[sender] = true
+		gs.ackedCount++
+	}
+}
+
+// mergeMark folds one learned watermark into the view (pointwise max).
+func (nd *node) mergeMark(id, w int) bool {
+	if id < 0 || id >= nd.n || id == nd.id {
+		return false
+	}
+	if w > nd.gens {
+		w = nd.gens
+	}
+	if w <= nd.marks[id] {
+		return false
+	}
+	nd.marks[id] = w
+	return true
+}
+
+// emitData draws one fresh coded packet from the active window,
+// round-robining across the generations that have anything to say. A
+// decoded generation keeps recoding for stragglers until it retires.
+func (nd *node) emitData() (wire.Packet, bool) {
+	hi := nd.base + nd.window
+	if hi > nd.gens {
+		hi = nd.gens
+	}
+	nd.cands = nd.cands[:0]
+	for g := nd.base; g < hi; g++ {
+		gs := nd.ensureGen(g)
+		// A generation every peer has acked at full rank has no
+		// audience left; skip it without waiting for retirement.
+		if gs.span.Rank() > 0 && gs.ackedCount < nd.n-1 {
+			nd.cands = append(nd.cands, g)
+		}
+	}
+	if len(nd.cands) == 0 {
+		return wire.Packet{}, false
+	}
+	g := nd.cands[nd.cursor%len(nd.cands)]
+	nd.cursor++
+	cmb, ok := nd.spans[g].span.RandomCombination(nd.rng)
+	if !ok {
+		return wire.Packet{}, false
+	}
+	return wire.NewCoded(nd.id, g, cmb), true
+}
+
+// emitAck summarizes this node's progress: its watermark, the span
+// ranks of its active window, and its full gossip view of peer
+// watermarks.
+func (nd *node) emitAck() wire.Packet {
+	hi := nd.base + nd.window
+	if hi > nd.gens {
+		hi = nd.gens
+	}
+	ack := wire.Ack{Watermark: uint32(nd.delivered)}
+	for g := nd.base; g < hi; g++ {
+		if gs, ok := nd.spans[g]; ok {
+			ack.Ranks = append(ack.Ranks, wire.GenRank{Gen: uint32(g), Rank: uint32(gs.span.Rank())})
+		}
+	}
+	for i, w := range nd.marks {
+		if i == nd.id {
+			w = nd.delivered
+		}
+		if w > 0 {
+			ack.Peers = append(ack.Peers, wire.PeerMark{Node: uint32(i), Watermark: uint32(w)})
+		}
+	}
+	return wire.NewAck(nd.id, nd.delivered, ack)
+}
+
+// randPeer picks a uniform peer other than the node itself.
+func (nd *node) randPeer() int {
+	p := nd.rng.Intn(nd.n - 1)
+	if p >= nd.id {
+		p++
+	}
+	return p
+}
+
+// pushData sends up to fanout fresh coded packets to random peers.
+func (nd *node) pushData(tr cluster.Transport) {
+	if nd.n < 2 {
+		return
+	}
+	for f := 0; f < nd.fanout; f++ {
+		pkt, ok := nd.emitData()
+		if !ok {
+			return
+		}
+		peer := nd.randPeer()
+		nd.m.PacketsOut++
+		nd.m.BitsOut += int64(pkt.Bits())
+		if !tr.Send(nd.id, peer, pkt.Marshal()) {
+			nd.m.Dropped++
+		}
+	}
+}
+
+// pushAck sends one progress ack to a random peer.
+func (nd *node) pushAck(tr cluster.Transport) {
+	if nd.n < 2 {
+		return
+	}
+	pkt := nd.emitAck()
+	peer := nd.randPeer()
+	nd.m.AcksOut++
+	nd.m.BitsOut += int64(pkt.Bits())
+	if !tr.Send(nd.id, peer, pkt.Marshal()) {
+		nd.m.Dropped++
+	}
+}

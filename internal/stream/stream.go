@@ -1,0 +1,314 @@
+// Package stream turns one-shot k-token dissemination into an
+// unbounded, pipelined stream — the "perfect pipelining" behaviour the
+// paper proves for RLNC gossip: new information keeps flowing while
+// older tokens are still spreading.
+//
+// A Source feeds a token sequence that the layer chunks into
+// generations of K tokens, keyed on the wire by wire.Envelope.Epoch.
+// Each generation is one independent RLNC span (recoding happens within
+// a generation, never across), and every node gossips a sliding window
+// of at most Window concurrent generations: random nonzero span
+// combinations of each active generation are pushed to Fanout random
+// peers over a cluster.Transport, exactly as in internal/cluster.
+//
+// Control traffic is the wire.TypeAck body: each node gossips its
+// delivery watermark (generations fully decoded and handed to the
+// consumer, in order) together with its current view of every peer's
+// watermark. Views merge by pointwise maximum, so the cluster-wide
+// minimum watermark — the retirement frontier — converges at gossip
+// speed. A generation below the frontier is globally decoded: its span
+// is Reset, returned to a per-node pool, and the window slides forward,
+// which is what bounds each node's memory to O(Window) spans no matter
+// how long the stream runs.
+//
+// Decoded generations are delivered to Config.Deliver strictly in
+// generation order per node, and every delivery is verified against the
+// Source before the callback sees it.
+//
+// Like internal/cluster, the package ships two drivers over the same
+// node logic: an async goroutine-per-node runtime (wall-clock metrics,
+// context shutdown) and a deterministic lockstep driver whose runs are
+// a pure function of Config.Seed.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/token"
+)
+
+// Source produces the token stream, one generation of K tokens at a
+// time. Generation must be a pure function of g: nodes fetch the same
+// generation independently (origins inject their share, verifiers
+// compare deliveries against it), and lockstep determinism relies on
+// repeated calls agreeing. Implementations must be safe for concurrent
+// use in async mode.
+type Source interface {
+	// Generation returns generation g's tokens. All payloads must have
+	// the same bit length across every generation.
+	Generation(g int) []token.Token
+}
+
+// seededSource derives generation g's tokens purely from (seed, g):
+// token j of generation g has UID owner j, sequence g, and a random
+// payload drawn from a generation-local PRNG.
+type seededSource struct {
+	k, d int
+	seed int64
+}
+
+// NewSeededSource returns the default deterministic stream: k tokens of
+// d payload bits per generation, all randomness derived from the seed
+// and the generation number alone.
+func NewSeededSource(k, d int, seed int64) Source {
+	return seededSource{k: k, d: d, seed: seed}
+}
+
+func (s seededSource) Generation(g int) []token.Token {
+	rng := newGenRand(s.seed, g)
+	out := make([]token.Token, s.k)
+	for j := range out {
+		out[j] = token.Random(token.NewUID(j, g), s.d, rng)
+	}
+	return out
+}
+
+// DeliverFunc consumes one decoded generation. Per node, calls arrive
+// strictly in generation order; the token slice is freshly decoded and
+// owned by the callee. In async mode it is called from node goroutines
+// and must be safe for concurrent use.
+type DeliverFunc func(node, gen int, toks []token.Token)
+
+// Config parameterizes a streaming run.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// K is the generation size in tokens.
+	K int
+	// PayloadBits is the token payload size d.
+	PayloadBits int
+	// Window is the maximum number of generations a node sources
+	// concurrently (default 4). Window 1 is sequential dissemination:
+	// one generation at a time, the E12 baseline.
+	Window int
+	// Generations is the stream length for this run — the experiment
+	// horizon; the protocol itself has no such bound.
+	Generations int
+	// Fanout is the number of peers contacted per data emission
+	// (default 2).
+	Fanout int
+	// Seed derives all node randomness. In lockstep mode it fully
+	// determines the run.
+	Seed int64
+	// Source feeds the stream; nil means NewSeededSource(K,
+	// PayloadBits, Seed).
+	Source Source
+	// Transport carries the packets; nil means a fresh ChanTransport
+	// sized so lockstep backpressure drops cannot occur. Run closes the
+	// transport before returning.
+	Transport cluster.Transport
+	// Deliver observes decoded generations (optional).
+	Deliver DeliverFunc
+	// Lockstep runs the deterministic single-threaded driver instead of
+	// goroutines.
+	Lockstep bool
+	// MaxTicks caps a lockstep run (default 20000).
+	MaxTicks int
+	// Interval paces each node's ticker emissions in async mode
+	// (default 500µs).
+	Interval time.Duration
+	// Timeout caps the async run's wall clock (default 30s).
+	Timeout time.Duration
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 4
+}
+
+func (c Config) fanout() int {
+	if c.Fanout > 0 {
+		return c.Fanout
+	}
+	return 2
+}
+
+func (c Config) maxTicks() int {
+	if c.MaxTicks > 0 {
+		return c.MaxTicks
+	}
+	return 20000
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 500 * time.Microsecond
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) source() Source {
+	if c.Source != nil {
+		return c.Source
+	}
+	return NewSeededSource(c.K, c.PayloadBits, c.Seed)
+}
+
+// InboxBuffer returns the per-node inbox size at which lockstep
+// backpressure drops are impossible: one tick's worst case is every
+// node targeting the same inbox with fanout data packets plus one ack
+// each.
+func InboxBuffer(n, fanout int) int { return cluster.InboxBuffer(n, fanout+1) }
+
+// NodeMetrics are one node's counters for a streaming run.
+type NodeMetrics struct {
+	// PacketsOut / PacketsIn count coded data packets only; acks are
+	// counted separately.
+	PacketsOut int64
+	PacketsIn  int64
+	AcksOut    int64
+	AcksIn     int64
+	// BitsOut is protocol bits sent (data and acks) under the
+	// simulator's Bits() accounting, wire framing excluded.
+	BitsOut int64
+	// Dropped counts Sends the transport reported undelivered.
+	Dropped int64
+	// Innovative counts received coded packets that grew a span.
+	Innovative int64
+	// Stale counts received coded packets for generations already
+	// retired locally.
+	Stale int64
+	// Delivered is the number of generations handed to the consumer.
+	Delivered int
+	Done      bool
+	// DoneTick / DoneAt mark delivery of the final generation
+	// (lockstep tick, async wall time).
+	DoneTick int
+	DoneAt   time.Duration
+	// MaxSpanBytes is the peak heap held in live spans — the memory a
+	// node needs no matter how long the stream is; window retirement is
+	// what keeps it bounded.
+	MaxSpanBytes int
+	// MaxActiveGens is the peak number of concurrently live spans.
+	MaxActiveGens int
+}
+
+// Result reports a finished streaming run.
+type Result struct {
+	// Completed is true when every node delivered all Generations
+	// before the timeout / tick cap.
+	Completed bool
+	// Elapsed is the async wall clock (also set, informationally, for
+	// lockstep runs).
+	Elapsed time.Duration
+	// Ticks is the lockstep tick count at completion (0 for async).
+	Ticks int
+	// TokensDelivered totals consumer deliveries across all nodes
+	// (N·K·Generations on a completed run).
+	TokensDelivered int64
+	Nodes           []NodeMetrics
+
+	// Aggregates over Nodes.
+	PacketsOut int64
+	PacketsIn  int64
+	AcksOut    int64
+	BitsOut    int64
+	Dropped    int64
+	// MaxSpanBytes is the largest per-node span footprint observed.
+	MaxSpanBytes int
+}
+
+// DoneTicks returns each completed node's DoneTick as float64s.
+func (r *Result) DoneTicks() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for _, m := range r.Nodes {
+		if m.Done {
+			out = append(out, float64(m.DoneTick))
+		}
+	}
+	return out
+}
+
+// DoneTimes returns each completed node's DoneAt in seconds.
+func (r *Result) DoneTimes() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for _, m := range r.Nodes {
+		if m.Done {
+			out = append(out, m.DoneAt.Seconds())
+		}
+	}
+	return out
+}
+
+// Run streams cfg.Generations generations of cfg.K tokens across an
+// n-node gossip cluster until every node has decoded and delivered the
+// whole stream in order, the context is canceled, the timeout expires,
+// or the lockstep tick cap is hit. Every delivered generation is
+// verified against the Source before Run returns it to the consumer.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	switch {
+	case cfg.N < 1:
+		return nil, fmt.Errorf("stream: need at least 1 node, got %d", cfg.N)
+	case cfg.K < 1:
+		return nil, fmt.Errorf("stream: need at least 1 token per generation, got %d", cfg.K)
+	case cfg.PayloadBits < 1:
+		return nil, fmt.Errorf("stream: need at least 1 payload bit, got %d", cfg.PayloadBits)
+	case cfg.Generations < 1:
+		return nil, fmt.Errorf("stream: need at least 1 generation, got %d", cfg.Generations)
+	case cfg.Window < 0:
+		return nil, fmt.Errorf("stream: negative window %d", cfg.Window)
+	case cfg.Fanout < 0:
+		return nil, fmt.Errorf("stream: negative fanout %d", cfg.Fanout)
+	}
+
+	src := cfg.source()
+	if toks := src.Generation(0); len(toks) != cfg.K {
+		return nil, fmt.Errorf("stream: source produced %d tokens per generation, want K=%d", len(toks), cfg.K)
+	}
+
+	tr := cfg.Transport
+	if tr == nil {
+		tr = cluster.NewChanTransport(cfg.N, InboxBuffer(cfg.N, cfg.fanout()))
+	}
+	defer tr.Close()
+
+	res := &Result{Nodes: make([]NodeMetrics, cfg.N)}
+	nodes := make([]*node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = newNode(i, cfg, src, &res.Nodes[i])
+	}
+
+	start := time.Now()
+	var err error
+	if cfg.Lockstep {
+		err = runLockstep(ctx, cfg, tr, nodes, res)
+	} else {
+		err = runAsync(ctx, cfg, tr, nodes, res, start)
+	}
+	res.Elapsed = time.Since(start)
+
+	for _, m := range res.Nodes {
+		res.PacketsOut += m.PacketsOut
+		res.PacketsIn += m.PacketsIn
+		res.AcksOut += m.AcksOut
+		res.BitsOut += m.BitsOut
+		res.Dropped += m.Dropped
+		res.TokensDelivered += int64(m.Delivered) * int64(cfg.K)
+		if m.MaxSpanBytes > res.MaxSpanBytes {
+			res.MaxSpanBytes = m.MaxSpanBytes
+		}
+	}
+	return res, err
+}

@@ -23,8 +23,15 @@ func FuzzWireRoundTrip(f *testing.F) {
 	}()
 	seedCoded := NewCoded(3, 7, rlnc.Encode(1, 4, gf.RandomBitVec(12, rng))).Marshal()
 	seedToken := NewToken(1, 2, token.Token{UID: token.NewUID(5, 6), Payload: gf.RandomBitVec(30, rng)}).Marshal()
+	seedAck := NewAck(2, 9, Ack{
+		Watermark: 4,
+		Ranks:     []GenRank{{Gen: 4, Rank: 3}, {Gen: 5, Rank: 0}},
+		Peers:     []PeerMark{{Node: 0, Watermark: 4}, {Node: 1, Watermark: 6}},
+	}).Marshal()
 	f.Add(seedCoded)
 	f.Add(seedToken)
+	f.Add(seedAck)
+	f.Add(NewAck(0, 0, Ack{}).Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{Version, byte(TypeCoded), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
@@ -50,13 +57,31 @@ func FuzzWireRoundTrip(f *testing.F) {
 		bits := int(data[8]) + int(data[9]) // 0..510
 		body := data[12:]
 		var p Packet
-		if data[10]%2 == 0 {
+		switch data[10] % 3 {
+		case 0:
 			k := bits / 2
 			vec := bitsFrom(body, bits)
 			p = NewCoded(sender, epoch, rlnc.Coded{K: k, Vec: vec})
-		} else {
+		case 1:
 			uid := token.UID(binary.LittleEndian.Uint64(data[0:8]))
 			p = NewToken(sender, epoch, token.Token{UID: uid, Payload: bitsFrom(body, bits)})
+		default:
+			a := Ack{Watermark: uint32(data[11])}
+			for i := 0; i+8 <= len(body) && i < 8*16; i += 8 {
+				e := body[i : i+8]
+				if i%16 == 0 {
+					a.Ranks = append(a.Ranks, GenRank{
+						Gen:  binary.LittleEndian.Uint32(e[0:4]),
+						Rank: binary.LittleEndian.Uint32(e[4:8]),
+					})
+				} else {
+					a.Peers = append(a.Peers, PeerMark{
+						Node:      binary.LittleEndian.Uint32(e[0:4]),
+						Watermark: binary.LittleEndian.Uint32(e[4:8]),
+					})
+				}
+			}
+			p = NewAck(sender, epoch, a)
 		}
 		got, err := Unmarshal(p.Marshal())
 		if err != nil {
@@ -73,6 +98,11 @@ func FuzzWireRoundTrip(f *testing.F) {
 		case TypeToken:
 			if !got.Token.Equal(p.Token) {
 				t.Fatal("token body changed")
+			}
+		case TypeAck:
+			if got.Ack.Watermark != p.Ack.Watermark ||
+				len(got.Ack.Ranks) != len(p.Ack.Ranks) || len(got.Ack.Peers) != len(p.Ack.Peers) {
+				t.Fatal("ack body changed")
 			}
 		}
 		if !bytes.Equal(got.Marshal(), p.Marshal()) {

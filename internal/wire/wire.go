@@ -1,7 +1,8 @@
-// Package wire is the compact binary codec for the cluster runtime's
-// protocol messages: network-coded packets (rlnc.Coded), raw tokens
-// (token.Token, for the store-and-forward baseline), and a small
-// envelope header carrying version, message type, sender and epoch.
+// Package wire is the compact binary codec for the cluster and stream
+// runtimes' protocol messages: network-coded packets (rlnc.Coded), raw
+// tokens (token.Token, for the store-and-forward baseline), streaming
+// progress acknowledgements (Ack), and a small envelope header carrying
+// version, message type, sender and epoch.
 //
 // The codec is the serialization boundary between the synchronous
 // simulator world (in-memory Message values whose cost is their Bits()
@@ -32,6 +33,9 @@
 //
 //	coded:  uint32 k, uint32 vecBits, ceil(vecBits/8) bytes (LSB-first)
 //	token:  uint64 uid, uint32 payloadBits, ceil(payloadBits/8) bytes
+//	ack:    uint32 watermark,
+//	        uint32 nRanks,  nRanks × (uint32 gen, uint32 rank),
+//	        uint32 nPeers,  nPeers × (uint32 node, uint32 watermark)
 package wire
 
 import (
@@ -70,7 +74,17 @@ const (
 	// TypeToken is a raw token: UID plus payload, the store-and-forward
 	// baseline's unit of exchange.
 	TypeToken Type = 2
+	// TypeAck is a streaming progress acknowledgement: the sender's
+	// per-generation rank summary plus its gossip view of every node's
+	// delivery watermark, the control traffic that lets internal/stream
+	// retire fully-decoded generations and advance the window.
+	TypeAck Type = 3
 )
+
+// MaxAckEntries caps the list lengths the decoder accepts in an ack
+// body. Like MaxVecBits it only bounds decoder work on adversarial
+// input; real acks carry a handful of entries.
+const MaxAckEntries = 1 << 16
 
 var (
 	// ErrTruncated is wrapped by errors for packets shorter than their
@@ -97,6 +111,36 @@ type Envelope struct {
 	Epoch uint32
 }
 
+// GenRank is one entry of an ack's rank summary: the sender's span rank
+// for one generation of its active window.
+type GenRank struct {
+	Gen  uint32
+	Rank uint32
+}
+
+// PeerMark is one entry of an ack's gossip view: the highest delivery
+// watermark the sender has learned for a node (its own or relayed).
+type PeerMark struct {
+	Node      uint32
+	Watermark uint32
+}
+
+// Ack is the streaming control body. Watermark is the number of
+// generations the sender has fully decoded and delivered in order;
+// Ranks summarizes the sender's span rank per active generation; Peers
+// is the sender's current view of every node's watermark, which spreads
+// transitively (receivers merge pointwise maxima) so the cluster-wide
+// minimum — the retirement frontier — converges at gossip speed.
+type Ack struct {
+	Watermark uint32
+	Ranks     []GenRank
+	Peers     []PeerMark
+}
+
+// Bits returns the body's information content under the simulator's
+// accounting: the watermark plus each 2×uint32 list entry.
+func (a Ack) Bits() int { return 32 + 64*(len(a.Ranks)+len(a.Peers)) }
+
 // Packet is one decoded protocol message: the envelope plus exactly one
 // of the type-specific bodies (selected by Env.Type).
 type Packet struct {
@@ -105,6 +149,8 @@ type Packet struct {
 	Coded rlnc.Coded
 	// Token is valid iff Env.Type == TypeToken.
 	Token token.Token
+	// Ack is valid iff Env.Type == TypeAck.
+	Ack Ack
 }
 
 // NewCoded wraps a coded message in a versioned envelope.
@@ -123,6 +169,14 @@ func NewToken(sender, epoch int, t token.Token) Packet {
 	}
 }
 
+// NewAck wraps a streaming acknowledgement in a versioned envelope.
+func NewAck(sender, epoch int, a Ack) Packet {
+	return Packet{
+		Env: Envelope{Version: Version, Type: TypeAck, Sender: uint32(sender), Epoch: uint32(epoch)},
+		Ack: a,
+	}
+}
+
 // Bits returns the wrapped message's size under the simulator's
 // accounting (rlnc.Coded.Bits or token.Token.Bits), which is what makes
 // wire costs comparable with dynnet.Metrics. Framing overhead is
@@ -133,6 +187,8 @@ func (p Packet) Bits() int {
 		return p.Coded.Bits()
 	case TypeToken:
 		return p.Token.Bits()
+	case TypeAck:
+		return p.Ack.Bits()
 	}
 	return 0
 }
@@ -144,6 +200,8 @@ func (p Packet) WireBytes() int {
 		return HeaderBytes + 8 + (p.Coded.Vec.Len()+7)/8
 	case TypeToken:
 		return HeaderBytes + 12 + (p.Token.Payload.Len()+7)/8
+	case TypeAck:
+		return HeaderBytes + 12 + 8*(len(p.Ack.Ranks)+len(p.Ack.Peers))
 	}
 	return HeaderBytes
 }
@@ -164,6 +222,18 @@ func (p Packet) Marshal() []byte {
 		out = binary.LittleEndian.AppendUint64(out, uint64(p.Token.UID))
 		out = binary.LittleEndian.AppendUint32(out, uint32(p.Token.Payload.Len()))
 		out = append(out, p.Token.Payload.Bytes()...)
+	case TypeAck:
+		out = binary.LittleEndian.AppendUint32(out, p.Ack.Watermark)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Ack.Ranks)))
+		for _, r := range p.Ack.Ranks {
+			out = binary.LittleEndian.AppendUint32(out, r.Gen)
+			out = binary.LittleEndian.AppendUint32(out, r.Rank)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Ack.Peers)))
+		for _, pm := range p.Ack.Peers {
+			out = binary.LittleEndian.AppendUint32(out, pm.Node)
+			out = binary.LittleEndian.AppendUint32(out, pm.Watermark)
+		}
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown type %d", p.Env.Type))
 	}
@@ -219,6 +289,47 @@ func Unmarshal(data []byte) (Packet, error) {
 			return Packet{}, err
 		}
 		return Packet{Env: env, Token: token.Token{UID: token.UID(uid), Payload: payload}}, nil
+	case TypeAck:
+		if len(body) < 8 {
+			return Packet{}, fmt.Errorf("%w: ack body %d bytes < 8", ErrTruncated, len(body))
+		}
+		a := Ack{Watermark: binary.LittleEndian.Uint32(body[0:4])}
+		nRanks := binary.LittleEndian.Uint32(body[4:8])
+		if nRanks > MaxAckEntries {
+			return Packet{}, fmt.Errorf("%w: ack rank count %d exceeds cap", ErrMalformed, nRanks)
+		}
+		rest := body[8:]
+		if uint64(len(rest)) < 8*uint64(nRanks)+4 {
+			return Packet{}, fmt.Errorf("%w: ack body %d bytes for %d rank entries", ErrTruncated, len(body), nRanks)
+		}
+		if nRanks > 0 {
+			a.Ranks = make([]GenRank, nRanks)
+			for i := range a.Ranks {
+				a.Ranks[i] = GenRank{
+					Gen:  binary.LittleEndian.Uint32(rest[8*i:]),
+					Rank: binary.LittleEndian.Uint32(rest[8*i+4:]),
+				}
+			}
+		}
+		rest = rest[8*nRanks:]
+		nPeers := binary.LittleEndian.Uint32(rest[0:4])
+		if nPeers > MaxAckEntries {
+			return Packet{}, fmt.Errorf("%w: ack peer count %d exceeds cap", ErrMalformed, nPeers)
+		}
+		rest = rest[4:]
+		if uint64(len(rest)) != 8*uint64(nPeers) {
+			return Packet{}, fmt.Errorf("%w: %d trailing ack bytes for %d peer entries (want %d)", ErrMalformed, len(rest), nPeers, 8*uint64(nPeers))
+		}
+		if nPeers > 0 {
+			a.Peers = make([]PeerMark, nPeers)
+			for i := range a.Peers {
+				a.Peers[i] = PeerMark{
+					Node:      binary.LittleEndian.Uint32(rest[8*i:]),
+					Watermark: binary.LittleEndian.Uint32(rest[8*i+4:]),
+				}
+			}
+		}
+		return Packet{Env: env, Ack: a}, nil
 	default:
 		return Packet{}, fmt.Errorf("%w: %d", ErrType, env.Type)
 	}

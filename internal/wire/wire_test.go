@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/dynnet"
@@ -49,6 +50,151 @@ func TestTokenRoundTrip(t *testing.T) {
 		}
 		if !got.Token.Equal(tok) {
 			t.Errorf("d=%d: token does not round-trip", d)
+		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	acks := []Ack{
+		{},
+		{Watermark: 3},
+		{Watermark: 2, Ranks: []GenRank{{Gen: 2, Rank: 5}, {Gen: 3, Rank: 0}}},
+		{Watermark: 1, Peers: []PeerMark{{Node: 0, Watermark: 1}, {Node: 9, Watermark: 4}}},
+		{Watermark: 7, Ranks: []GenRank{{Gen: 7, Rank: 8}}, Peers: []PeerMark{{Node: 3, Watermark: 7}}},
+	}
+	for i, a := range acks {
+		p := NewAck(i, i*2, a)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		if got.Env != p.Env {
+			t.Errorf("ack %d: envelope mismatch", i)
+		}
+		if !reflect.DeepEqual(got.Ack, a) {
+			t.Errorf("ack %d: body %+v does not round-trip to %+v", i, a, got.Ack)
+		}
+		if want := 32 + 64*(len(a.Ranks)+len(a.Peers)); p.Bits() != want {
+			t.Errorf("ack %d: Bits %d, want %d", i, p.Bits(), want)
+		}
+		if want := HeaderBytes + 12 + 8*(len(a.Ranks)+len(a.Peers)); len(p.Marshal()) != want || p.WireBytes() != want {
+			t.Errorf("ack %d: wire size %d (WireBytes %d), want %d", i, len(p.Marshal()), p.WireBytes(), want)
+		}
+	}
+}
+
+func TestAckUnmarshalRejects(t *testing.T) {
+	good := NewAck(1, 2, Ack{Watermark: 1, Ranks: []GenRank{{Gen: 1, Rank: 2}}, Peers: []PeerMark{{Node: 0, Watermark: 1}}}).Marshal()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short body", good[:HeaderBytes+4], ErrTruncated},
+		{"rank list truncated", good[:HeaderBytes+12], ErrTruncated},
+		{"peer list truncated", good[:len(good)-1], ErrMalformed},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	for _, off := range []int{HeaderBytes + 4, HeaderBytes + 4 + 4 + 8} {
+		huge := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(huge[off:], MaxAckEntries+1)
+		if _, err := Unmarshal(huge); !errors.Is(err, ErrMalformed) {
+			t.Errorf("oversized count at offset %d accepted: %v", off, err)
+		}
+	}
+}
+
+// TestGoldenWireBytes pins the exact byte layout of every packet type —
+// version/type/sender/epoch envelope offsets and each body — so a codec
+// change that would break cross-version compatibility fails this test
+// loudly instead of silently re-defining the wire format.
+func TestGoldenWireBytes(t *testing.T) {
+	codedVec := gf.NewBitVec(12)
+	codedVec.Set(0, true)
+	codedVec.Set(5, true)
+	codedVec.Set(11, true)
+	tokenPayload := gf.NewBitVec(9)
+	tokenPayload.Set(0, true)
+	tokenPayload.Set(8, true)
+
+	cases := []struct {
+		name string
+		pkt  Packet
+		want []byte
+	}{
+		{
+			"coded",
+			NewCoded(0x04030201, 0x44332211, rlnc.Coded{K: 3, Vec: codedVec}),
+			[]byte{
+				0x01,                   // version
+				0x01,                   // type = coded
+				0x01, 0x02, 0x03, 0x04, // sender, little-endian
+				0x11, 0x22, 0x33, 0x44, // epoch, little-endian
+				0x03, 0x00, 0x00, 0x00, // k = 3
+				0x0c, 0x00, 0x00, 0x00, // vecBits = 12
+				0x21, 0x08, // bits 0, 5, 11 (LSB-first)
+			},
+		},
+		{
+			"token",
+			NewToken(5, 6, token.Token{UID: token.NewUID(2, 3), Payload: tokenPayload}),
+			[]byte{
+				0x01,                   // version
+				0x02,                   // type = token
+				0x05, 0x00, 0x00, 0x00, // sender
+				0x06, 0x00, 0x00, 0x00, // epoch
+				0x03, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, // uid = owner 2 << 32 | seq 3
+				0x09, 0x00, 0x00, 0x00, // payloadBits = 9
+				0x01, 0x01, // bits 0 and 8
+			},
+		},
+		{
+			"ack",
+			NewAck(7, 8, Ack{
+				Watermark: 2,
+				Ranks:     []GenRank{{Gen: 2, Rank: 1}},
+				Peers:     []PeerMark{{Node: 0, Watermark: 2}, {Node: 1, Watermark: 3}},
+			}),
+			[]byte{
+				0x01,                   // version
+				0x03,                   // type = ack
+				0x07, 0x00, 0x00, 0x00, // sender
+				0x08, 0x00, 0x00, 0x00, // epoch
+				0x02, 0x00, 0x00, 0x00, // watermark = 2
+				0x01, 0x00, 0x00, 0x00, // 1 rank entry
+				0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, // gen 2 rank 1
+				0x02, 0x00, 0x00, 0x00, // 2 peer entries
+				0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, // node 0 watermark 2
+				0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, // node 1 watermark 3
+			},
+		},
+	}
+	for _, tc := range cases {
+		got := tc.pkt.Marshal()
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("%s: marshal\n got %x\nwant %x", tc.name, got, tc.want)
+		}
+		// The envelope offsets are shared by every type: version byte,
+		// type byte, then the two little-endian uint32s.
+		if got[0] != Version || Type(got[1]) != tc.pkt.Env.Type {
+			t.Errorf("%s: envelope version/type bytes %x %x", tc.name, got[0], got[1])
+		}
+		if s := binary.LittleEndian.Uint32(got[2:6]); s != tc.pkt.Env.Sender {
+			t.Errorf("%s: sender at offset 2 = %d, want %d", tc.name, s, tc.pkt.Env.Sender)
+		}
+		if e := binary.LittleEndian.Uint32(got[6:10]); e != tc.pkt.Env.Epoch {
+			t.Errorf("%s: epoch at offset 6 = %d, want %d", tc.name, e, tc.pkt.Env.Epoch)
+		}
+		back, err := Unmarshal(tc.want)
+		if err != nil {
+			t.Errorf("%s: golden bytes rejected: %v", tc.name, err)
+		} else if !bytes.Equal(back.Marshal(), tc.want) {
+			t.Errorf("%s: golden bytes not canonical", tc.name)
 		}
 	}
 }
