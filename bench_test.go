@@ -34,6 +34,7 @@ import (
 // BenchmarkE1IndexedBroadcast times one Lemma 5.3 run (n = k = 64) and
 // reports rounds-to-decode; the theorem predicts Theta(n + k).
 func BenchmarkE1IndexedBroadcast(b *testing.B) {
+	b.ReportAllocs()
 	const n, d = 64, 8
 	rounds := 0
 	for i := 0; i < b.N; i++ {
@@ -52,6 +53,7 @@ func BenchmarkE1IndexedBroadcast(b *testing.B) {
 // n = k = 64) and reports the round ratio; Theorem 2.3 says it grows
 // with n.
 func BenchmarkE2SmallTokens(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, budget = 64, 8, 512
 	var fwd, cod int
 	for i := 0; i < b.N; i++ {
@@ -76,6 +78,7 @@ func BenchmarkE2SmallTokens(b *testing.B) {
 // 64) and reports the round ratio across a 2x budget step; Theorem 2.3
 // predicts ~4x while the quadratic term dominates.
 func BenchmarkE3MessageSize(b *testing.B) {
+	b.ReportAllocs()
 	const n, d = 64, 8
 	var r96, r192 int
 	for i := 0; i < b.N; i++ {
@@ -100,6 +103,7 @@ func BenchmarkE3MessageSize(b *testing.B) {
 // BenchmarkE4GreedyVsPriority times both Section 7 algorithms at
 // n = k = 48, b = 256.
 func BenchmarkE4GreedyVsPriority(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, budget = 48, 8, 256
 	var g, p int
 	for i := 0; i < b.N; i++ {
@@ -126,6 +130,7 @@ func BenchmarkE4GreedyVsPriority(b *testing.B) {
 // the batched forwarding baseline on a matched token workload. Reported
 // metrics are bits delivered per round for both.
 func BenchmarkE5TStable(b *testing.B) {
+	b.ReportAllocs()
 	const (
 		n, budget, T = 48, 160, 96
 		chunkBits    = 32
@@ -171,6 +176,7 @@ func BenchmarkE5TStable(b *testing.B) {
 // BenchmarkE6Gathering times the random-forward primitive (n = k = 64)
 // and reports the gathered count against Lemma 7.2's sqrt(ck).
 func BenchmarkE6Gathering(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, c = 64, 8, 4
 	gathered := 0
 	for i := 0; i < b.N; i++ {
@@ -198,6 +204,7 @@ func BenchmarkE6Gathering(b *testing.B) {
 
 // BenchmarkE7Counting times the counting application at n = 32.
 func BenchmarkE7Counting(b *testing.B) {
+	b.ReportAllocs()
 	const n, budget = 32, 1024
 	var res count.Result
 	for i := 0; i < b.N; i++ {
@@ -214,6 +221,7 @@ func BenchmarkE7Counting(b *testing.B) {
 // BenchmarkE8FieldSize times the omniscient-adversary kernel over GF(2)
 // and F_257 and reports both stall fractions (Theorem 6.1's separation).
 func BenchmarkE8FieldSize(b *testing.B) {
+	b.ReportAllocs()
 	const n, pe = 12, 4
 	var frac2, fracBig float64
 	for i := 0; i < b.N; i++ {
@@ -243,6 +251,7 @@ func crossingRounds(r int) int {
 
 // BenchmarkE9EndGame times the Section 5.2 end-game decode at k = 256.
 func BenchmarkE9EndGame(b *testing.B) {
+	b.ReportAllocs()
 	const k, d = 256, 8
 	for i := 0; i < b.N; i++ {
 		if !exp.EndgameCodedDecodes(k, d, int64(i)) {
@@ -256,6 +265,7 @@ func BenchmarkE9EndGame(b *testing.B) {
 // BenchmarkE10Centralized times the Corollary 2.6 centralized coding
 // run (b = d = 8, n = k = 64) and reports rounds/n (predicted O(1)).
 func BenchmarkE10Centralized(b *testing.B) {
+	b.ReportAllocs()
 	const n, d = 64, 8
 	rounds := 0
 	for i := 0; i < b.N; i++ {
@@ -273,6 +283,7 @@ func BenchmarkE10Centralized(b *testing.B) {
 // (coded vs store-and-forward gossip, n = k = 24, 30% loss) and reports
 // both tick counts; the coded runtime must stay well ahead (E11).
 func BenchmarkE11GossipUnderLoss(b *testing.B) {
+	b.ReportAllocs()
 	const n, k, d, loss = 24, 24, 64, 0.3
 	ctx := context.Background()
 	var codedTicks, fwdTicks int
@@ -304,6 +315,7 @@ func BenchmarkE11GossipUnderLoss(b *testing.B) {
 // benchmark size: the same lossy token stream at W = 1 (sequential)
 // and W = 4 (pipelined), reporting sustained tokens/tick for both.
 func BenchmarkE12StreamWindows(b *testing.B) {
+	b.ReportAllocs()
 	const n, k, d, gens, loss = 16, 8, 64, 8, 0.3
 	ctx := context.Background()
 	var seqTicks, pipeTicks int
@@ -338,6 +350,7 @@ func BenchmarkE12StreamWindows(b *testing.B) {
 // per second, protocol bits per delivered stream token, and peak span
 // memory held per node.
 func BenchmarkStreamSustained(b *testing.B) {
+	b.ReportAllocs()
 	const n, k, d, gens, w = 16, 16, 128, 8, 4
 	ctx := context.Background()
 	var ticks int
@@ -366,19 +379,72 @@ func BenchmarkStreamSustained(b *testing.B) {
 }
 
 // BenchmarkWireRoundTrip times the codec on a cluster-sized coded
-// packet (k = 32, 192-bit vectors including the coded UIDs).
+// packet (k = 32, 192-bit vectors including the coded UIDs), on the
+// steady-state hot path the gossip runtimes use: AppendTo into a reused
+// buffer, UnmarshalInto into a reused scratch Packet. Zero allocs/op is
+// the contract.
 func BenchmarkWireRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	p := wire.NewCoded(3, 9, rlnc.Encode(5, 32, gf.RandomBitVec(160, rng.Uint64)))
-	raw := p.Marshal()
-	b.SetBytes(int64(len(raw)))
+	var scratch wire.Packet
+	buf := p.Marshal()
+	b.SetBytes(int64(len(buf)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q, err := wire.Unmarshal(p.Marshal())
-		if err != nil {
+		buf = p.AppendTo(buf[:0])
+		if err := wire.UnmarshalInto(&scratch, buf); err != nil {
 			b.Fatal(err)
 		}
-		p = q
+		p = scratch
+	}
+}
+
+// BenchmarkEmitInsertSteadyState times one full hop of the pooled
+// gossip pipeline — random recombination of a full-rank span into a
+// scratch packet, marshal into a reused wire buffer, decode into a
+// scratch packet, insert into a receiving span — with the receiving
+// span Reset (slab-reusing) every time it reaches full rank. This is
+// the emission→wire→insert loop the cluster and stream runtimes run
+// millions of times; the contract is 0 allocs/op in steady state.
+func BenchmarkEmitInsertSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	const k, d = 32, 160
+	rng := rand.New(rand.NewSource(14))
+	src := rlnc.NewSpan(k, d)
+	for i := 0; i < k; i++ {
+		src.Add(rlnc.Encode(i, k, gf.RandomBitVec(d, rng.Uint64)))
+	}
+	sink := rlnc.NewSpan(k, d)
+	var tx, rx wire.Packet
+	var buf []byte
+	// Warm the scratches and grow the sink's slab to full rank once.
+	for sink.Rank() < k {
+		if !src.RandomCombinationInto(&tx.Coded, rng) {
+			b.Fatal("empty source span")
+		}
+		tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: 1, Epoch: 0}
+		buf = tx.AppendTo(buf[:0])
+		if err := wire.UnmarshalInto(&rx, buf); err != nil {
+			b.Fatal(err)
+		}
+		sink.Add(rx.Coded)
+	}
+	sink.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !src.RandomCombinationInto(&tx.Coded, rng) {
+			b.Fatal("empty source span")
+		}
+		tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: 1, Epoch: uint32(i)}
+		buf = tx.AppendTo(buf[:0])
+		if err := wire.UnmarshalInto(&rx, buf); err != nil {
+			b.Fatal(err)
+		}
+		sink.Add(rx.Coded)
+		if sink.Rank() == k {
+			sink.Reset()
+		}
 	}
 }
 
@@ -386,6 +452,7 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 // ablation: total rounds to full decode with the paper's
 // share-pass-share versus the fused share-pass pipeline.
 func BenchmarkAblationSecondShare(b *testing.B) {
+	b.ReportAllocs()
 	g := graphPath24()
 	const d, blocks, payload, chunkBits = 2, 4, 16, 64
 	var with, without int
@@ -419,6 +486,7 @@ func e1Kernel(seed int64) (float64, error) {
 // through sim.ParallelTrials on all cores. Both produce bit-identical
 // Summaries; the ratio of their ns/op is the experiment-engine speedup.
 func BenchmarkTrialSweepSerial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Trials(8, e1Kernel); err != nil {
 			b.Fatal(err)
@@ -427,6 +495,7 @@ func BenchmarkTrialSweepSerial(b *testing.B) {
 }
 
 func BenchmarkTrialSweepParallel(b *testing.B) {
+	b.ReportAllocs()
 	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.ParallelTrials(ctx, sim.ParallelConfig{}, 8, e1Kernel); err != nil {
@@ -438,6 +507,7 @@ func BenchmarkTrialSweepParallel(b *testing.B) {
 // --- micro-benchmarks of the hot paths ---
 
 func BenchmarkSpanInsertGF2(b *testing.B) {
+	b.ReportAllocs()
 	const k, d = 256, 256
 	rng := rand.New(rand.NewSource(1))
 	vecs := make([]rlnc.Coded, 512)
@@ -455,6 +525,7 @@ func BenchmarkSpanInsertGF2(b *testing.B) {
 }
 
 func BenchmarkSpanDecodeGF2(b *testing.B) {
+	b.ReportAllocs()
 	const k, d = 128, 128
 	rng := rand.New(rand.NewSource(2))
 	span := rlnc.NewSpan(k, d)
@@ -473,6 +544,7 @@ func BenchmarkSpanDecodeGF2(b *testing.B) {
 // used by traces and experiment loops: a near-full-rank span (k = d =
 // 128, rank k-1) asked how many tokens are currently recoverable.
 func BenchmarkSpanDecodableCount(b *testing.B) {
+	b.ReportAllocs()
 	const k, d = 128, 128
 	rng := rand.New(rand.NewSource(5))
 	span := rlnc.NewSpan(k, d)
@@ -489,7 +561,6 @@ func BenchmarkSpanDecodableCount(b *testing.B) {
 		}
 		span.Add(rlnc.Coded{K: k, Vec: mix})
 	}
-	b.ReportAllocs()
 	b.ResetTimer()
 	count := 0
 	for i := 0; i < b.N; i++ {
@@ -501,13 +572,13 @@ func BenchmarkSpanDecodableCount(b *testing.B) {
 // BenchmarkBitMatrixInsert measures raw echelon-insert throughput: 256
 // random 512-bit vectors inserted into a fresh matrix per iteration.
 func BenchmarkBitMatrixInsert(b *testing.B) {
+	b.ReportAllocs()
 	const cols, nvecs = 512, 256
 	rng := rand.New(rand.NewSource(6))
 	vecs := make([]gf.BitVec, nvecs)
 	for i := range vecs {
 		vecs[i] = gf.RandomBitVec(cols, rng.Uint64)
 	}
-	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := gf.NewBitMatrix(cols)
@@ -518,6 +589,7 @@ func BenchmarkBitMatrixInsert(b *testing.B) {
 }
 
 func BenchmarkBitVecXor(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	x := gf.RandomBitVec(4096, rng.Uint64)
 	y := gf.RandomBitVec(4096, rng.Uint64)
@@ -529,6 +601,7 @@ func BenchmarkBitVecXor(b *testing.B) {
 }
 
 func BenchmarkGF2e8Mul(b *testing.B) {
+	b.ReportAllocs()
 	f := gf.MustGF2e(8)
 	acc := uint64(1)
 	b.ResetTimer()
@@ -539,6 +612,7 @@ func BenchmarkGF2e8Mul(b *testing.B) {
 }
 
 func BenchmarkPrimeInv(b *testing.B) {
+	b.ReportAllocs()
 	f := gf.MustPrime(65537)
 	acc := uint64(0)
 	b.ResetTimer()
@@ -549,6 +623,7 @@ func BenchmarkPrimeInv(b *testing.B) {
 }
 
 func BenchmarkEngineRound(b *testing.B) {
+	b.ReportAllocs()
 	const n = 128
 	nodes := make([]dynnet.Node, n)
 	rng := rand.New(rand.NewSource(4))

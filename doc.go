@@ -29,7 +29,20 @@
 // coded vs store-and-forward gossip under loss and E12 (DESIGN.md
 // "Streaming layer") for what window pipelining buys.
 //
-// The benchmark suite in bench_test.go regenerates every experiment;
-// see DESIGN.md for the experiment index and implementation notes, and
-// CHANGES.md for the per-change measurement log.
+// The emission→wire→insert hot path is allocation-free in steady
+// state: gf.BitMatrix keeps its echelon rows in one contiguous slab,
+// rlnc offers CombineInto/RandomCombinationInto writing into
+// caller-owned vectors, wire offers AppendTo/UnmarshalInto reusing one
+// buffer and one scratch packet per round trip, and the runtimes
+// recycle wire buffers through per-node rings (cluster.BufRing). The
+// allocating Marshal/Unmarshal/Combine remain as thin wrappers; see
+// DESIGN.md "Hot-path memory layout" for the slab layout, the buffer
+// ownership rules and the before/after allocation table.
+//
+// The benchmark suite in bench_test.go regenerates every experiment
+// with b.ReportAllocs throughout; BENCH_PR4.json is the committed
+// allocation baseline that CI's cmd/benchguard gate enforces (see
+// scripts/bench.sh). See DESIGN.md for the experiment index and
+// implementation notes, and CHANGES.md for the per-change measurement
+// log.
 package repro

@@ -34,14 +34,22 @@ func NewStatic(g *graph.Graph) *Static { return &Static{g: g} }
 // Graph returns the fixed topology.
 func (s *Static) Graph(int, []dynnet.Node) *graph.Graph { return s.g }
 
-// RandomConnected serves a fresh random connected graph every round:
+// RandomConnected serves a fresh random connected topology every round:
 // a random spanning tree plus Extra random edges. It is oblivious (it
 // never inspects node state) but fully dynamic, and is the default
 // "churn" adversary of the experiments.
+//
+// The adversary owns one scratch graph that it rebuilds in place on
+// every query, so per-round topology churn is allocation-free in steady
+// state. Consumers therefore must not hold the returned graph across
+// Graph calls — the dynnet engine and its observers already obey this
+// (a round's graph is only used within the round), and TStable queries
+// the inner adversary exactly once per stability window.
 type RandomConnected struct {
-	n     int
-	extra int
-	rng   *rand.Rand
+	n       int
+	extra   int
+	rng     *rand.Rand
+	scratch *graph.Graph
 }
 
 var _ dynnet.Adversary = (*RandomConnected)(nil)
@@ -49,12 +57,14 @@ var _ dynnet.Adversary = (*RandomConnected)(nil)
 // NewRandomConnected returns a random-rewiring adversary over n nodes
 // adding extra edges beyond the spanning tree, seeded deterministically.
 func NewRandomConnected(n, extra int, seed int64) *RandomConnected {
-	return &RandomConnected{n: n, extra: extra, rng: rand.New(rand.NewSource(seed))}
+	return &RandomConnected{n: n, extra: extra, rng: rand.New(rand.NewSource(seed)), scratch: graph.New(n)}
 }
 
-// Graph returns a fresh random connected topology.
+// Graph returns the round's random connected topology, valid until the
+// next Graph call.
 func (a *RandomConnected) Graph(int, []dynnet.Node) *graph.Graph {
-	return graph.RandomConnected(a.n, a.extra, a.rng)
+	graph.RandomConnectedInto(a.scratch, a.n, a.extra, a.rng)
+	return a.scratch
 }
 
 // TStable wraps an inner adversary and re-queries it only every T rounds,

@@ -46,7 +46,7 @@ func ParseTransport(name string) (lockstep bool, err error) {
 // BuildTransport assembles the CLI middleware stack over a fresh
 // ChanTransport in the canonical order — loss over reorder over delay —
 // with the per-middleware seed offsets every CLI uses. Delay needs wall
-//-clock time, so it is rejected under the lockstep driver.
+// -clock time, so it is rejected under the lockstep driver.
 func BuildTransport(n, buffer int, lockstep bool, delay time.Duration, reorder, loss float64, seed int64) (cluster.Transport, error) {
 	var tr cluster.Transport = cluster.NewChanTransport(n, buffer)
 	if delay > 0 {

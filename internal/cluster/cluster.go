@@ -183,10 +183,12 @@ func InboxBuffer(n, fanout int) int { return n*fanout + 1 }
 // gossiper is the per-node protocol state shared by both modes.
 type gossiper interface {
 	// absorb ingests one packet, reporting whether it was innovative.
-	absorb(p wire.Packet) bool
-	// emit draws one fresh packet to push, or false if the node has
-	// nothing to say yet.
-	emit(epoch int) (wire.Packet, bool)
+	// The packet is the caller's reused scratch: implementations must
+	// copy anything they retain past the call.
+	absorb(p *wire.Packet) bool
+	// emitInto draws one fresh packet to push into the caller-owned
+	// scratch, or reports false if the node has nothing to say yet.
+	emitInto(p *wire.Packet, epoch int) bool
 	// complete reports whether the node holds all k tokens.
 	complete() bool
 	// verify checks the node's final state against the originals.
@@ -230,7 +232,7 @@ type codedNode struct {
 	rng  *rand.Rand
 }
 
-func (c *codedNode) absorb(p wire.Packet) bool {
+func (c *codedNode) absorb(p *wire.Packet) bool {
 	if p.Env.Type != wire.TypeCoded {
 		return false
 	}
@@ -238,15 +240,17 @@ func (c *codedNode) absorb(p wire.Packet) bool {
 	if cd.K != c.span.K() || cd.Vec.Len() != c.span.K()+c.span.PayloadBits() {
 		return false
 	}
+	// Span.Add copies the vector into the basis slab, so handing it the
+	// caller's scratch is safe.
 	return c.span.Add(cd)
 }
 
-func (c *codedNode) emit(epoch int) (wire.Packet, bool) {
-	cmb, ok := c.span.RandomCombination(c.rng)
-	if !ok {
-		return wire.Packet{}, false
+func (c *codedNode) emitInto(p *wire.Packet, epoch int) bool {
+	if !c.span.RandomCombinationInto(&p.Coded, c.rng) {
+		return false
 	}
-	return wire.NewCoded(c.id, epoch, cmb), true
+	p.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: uint32(c.id), Epoch: uint32(epoch)}
+	return true
 }
 
 func (c *codedNode) complete() bool { return c.span.CanDecode() }
@@ -272,19 +276,29 @@ type forwardNode struct {
 	rng *rand.Rand
 }
 
-func (f *forwardNode) absorb(p wire.Packet) bool {
+func (f *forwardNode) absorb(p *wire.Packet) bool {
 	if p.Env.Type != wire.TypeToken {
 		return false
 	}
-	return f.set.Add(p.Token)
+	if f.set.Has(p.Token.UID) {
+		return false
+	}
+	// The payload aliases the caller's scratch packet; clone before
+	// retaining. Novel tokens are bounded by k per node, so this is the
+	// one permitted steady-state-exempt allocation.
+	return f.set.Add(token.Token{UID: p.Token.UID, Payload: p.Token.Payload.Clone()})
 }
 
-func (f *forwardNode) emit(epoch int) (wire.Packet, bool) {
+func (f *forwardNode) emitInto(p *wire.Packet, epoch int) bool {
 	toks := f.set.Tokens()
 	if len(toks) == 0 {
-		return wire.Packet{}, false
+		return false
 	}
-	return wire.NewToken(f.id, epoch, toks[f.rng.Intn(len(toks))]), true
+	// The emitted payload aliases set storage; AppendTo copies it onto
+	// the wire before the packet scratch is reused.
+	p.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeToken, Sender: uint32(f.id), Epoch: uint32(epoch)}
+	p.Token = toks[f.rng.Intn(len(toks))]
+	return true
 }
 
 func (f *forwardNode) complete() bool { return f.set.Len() >= f.k }
@@ -374,12 +388,38 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 	return res, nil
 }
 
+// nodeIO is one node's reusable packet plumbing: a tx scratch fed by
+// emitInto, an rx scratch fed by UnmarshalInto, and the buffer ring
+// that recycles wire buffers between the node's receive and send sides.
+// Each nodeIO is owned by exactly one goroutine (see BufRing).
+type nodeIO struct {
+	tx   wire.Packet
+	rx   wire.Packet
+	ring *BufRing
+}
+
+func newNodeIOs(n int) []nodeIO {
+	ios := make([]nodeIO, n)
+	for i := range ios {
+		ios[i].ring = NewBufRing(DefaultRingCap)
+	}
+	return ios
+}
+
+// recv decodes one drained inbox buffer into the rx scratch, feeds it
+// to the gossiper, and recycles the buffer. It reports innovation.
+func (io *nodeIO) recv(node gossiper, raw []byte) bool {
+	return DecodeRecycle(&io.rx, io.ring, raw) && node.absorb(&io.rx)
+}
+
 // sendFresh pushes fanout fresh packets from node id to random peers,
-// updating its metrics. It is the shared emission step of both modes.
-func sendFresh(tr Transport, nodes []gossiper, rng *rand.Rand, m *NodeMetrics, id, n, fanout int) {
+// updating its metrics. It is the shared emission step of both modes:
+// emitInto fills the node's tx scratch, AppendTo marshals it into a
+// recycled buffer, and a dropped Send returns the buffer to the ring —
+// the steady-state path touches the allocator not at all.
+func sendFresh(tr Transport, nodes []gossiper, rng *rand.Rand, m *NodeMetrics, id, n, fanout int, io *nodeIO) {
 	for f := 0; f < fanout; f++ {
-		pkt, ok := nodes[id].emit(int(m.PacketsOut))
-		if !ok {
+		if !nodes[id].emitInto(&io.tx, int(m.PacketsOut)) {
 			return
 		}
 		peer := rng.Intn(n - 1)
@@ -387,9 +427,11 @@ func sendFresh(tr Transport, nodes []gossiper, rng *rand.Rand, m *NodeMetrics, i
 			peer++
 		}
 		m.PacketsOut++
-		m.BitsOut += int64(pkt.Bits())
-		if !tr.Send(id, peer, pkt.Marshal()) {
+		m.BitsOut += int64(io.tx.Bits())
+		buf := io.tx.AppendTo(io.ring.Get()[:0])
+		if !tr.Send(id, peer, buf) {
 			m.Dropped++
+			io.ring.Put(buf)
 		}
 	}
 }
@@ -404,12 +446,13 @@ func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, r
 	remaining.Store(int64(cfg.N))
 	allDone := make(chan struct{})
 
+	ios := newNodeIOs(cfg.N)
 	var wg sync.WaitGroup
 	for id := 0; id < cfg.N; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			node, m, rng := nodes[id], &res.Nodes[id], rngs[id]
+			node, m, rng, nio := nodes[id], &res.Nodes[id], rngs[id], &ios[id]
 			markDone := func() {
 				if m.Done || !node.complete() {
 					return
@@ -423,7 +466,7 @@ func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, r
 			markDone() // n == 1 or a node seeded with everything
 			emit := func() {
 				if cfg.N > 1 {
-					sendFresh(tr, nodes, rng, m, id, cfg.N, cfg.fanout())
+					sendFresh(tr, nodes, rng, m, id, cfg.N, cfg.fanout(), nio)
 				}
 			}
 			ticker := time.NewTicker(cfg.interval())
@@ -434,11 +477,7 @@ func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, r
 					return
 				case raw := <-tr.Recv(id):
 					m.PacketsIn++
-					p, err := wire.Unmarshal(raw)
-					if err != nil {
-						continue
-					}
-					if node.absorb(p) {
+					if nio.recv(node, raw) {
 						m.Innovative++
 						markDone()
 						emit()
@@ -467,6 +506,7 @@ func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, r
 // did execute.
 func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, rngs []*rand.Rand, res *Result) {
 	fanout := cfg.fanout()
+	ios := newNodeIOs(cfg.N)
 	complete := func(tick int) bool {
 		all := true
 		for id := range nodes {
@@ -497,7 +537,7 @@ func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper
 				select {
 				case raw := <-inbox:
 					m.PacketsIn++
-					if p, err := wire.Unmarshal(raw); err == nil && nodes[id].absorb(p) {
+					if ios[id].recv(nodes[id], raw) {
 						m.Innovative++
 					}
 				default:
@@ -512,7 +552,7 @@ func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper
 		}
 		for id := range nodes {
 			if cfg.N > 1 {
-				sendFresh(tr, nodes, rngs[id], &res.Nodes[id], id, cfg.N, fanout)
+				sendFresh(tr, nodes, rngs[id], &res.Nodes[id], id, cfg.N, fanout, &ios[id])
 			}
 		}
 	}

@@ -453,3 +453,49 @@ func TestLockstepObservesContext(t *testing.T) {
 		t.Errorf("ticks = %d, want 0 for a pre-canceled context", res.Ticks)
 	}
 }
+
+// TestLockstepGoldenTranscripts pins exact lockstep run fingerprints
+// for both modes under loss. The values were produced by the
+// pre-pooling (allocating) pipeline, so this test is the proof that the
+// zero-allocation emission path — CombineInto/AppendTo/UnmarshalInto
+// feeding per-node buffer rings — is bit-identical to it: any divergence
+// in coin draws, emission order or buffer corruption shifts these
+// counters.
+func TestLockstepGoldenTranscripts(t *testing.T) {
+	ctx := context.Background()
+	type golden struct {
+		seed                    int64
+		ticks                   int
+		out, in, bits, drop     int64
+		fticks                  int
+		fout, fin, fbits, fdrop int64
+	}
+	goldens := []golden{
+		{1, 12, 220, 164, 23760, 56, 44, 860, 654, 82560, 206},
+		{2, 12, 220, 171, 23760, 49, 64, 1260, 952, 120960, 308},
+		{3, 13, 240, 181, 25920, 59, 43, 840, 635, 80640, 205},
+		{4, 13, 240, 174, 25920, 66, 43, 840, 640, 80640, 200},
+		{5, 16, 300, 231, 32400, 69, 70, 1380, 1058, 132480, 322},
+	}
+	for _, g := range goldens {
+		toks := token.RandomSet(12, 32, rand.New(rand.NewSource(g.seed)))
+		for _, mode := range []Mode{Coded, Forward} {
+			tr := WithLoss(NewChanTransport(10, InboxBuffer(10, 2)), 0.25, g.seed+77)
+			res, err := Run(ctx, Config{N: 10, Fanout: 2, Mode: mode, Seed: g.seed, Transport: tr, Lockstep: true}, toks)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", g.seed, mode, err)
+			}
+			if !res.Completed {
+				t.Fatalf("seed %d %v: incomplete", g.seed, mode)
+			}
+			want := [5]int64{int64(g.ticks), g.out, g.in, g.bits, g.drop}
+			if mode == Forward {
+				want = [5]int64{int64(g.fticks), g.fout, g.fin, g.fbits, g.fdrop}
+			}
+			got := [5]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.BitsOut, res.Dropped}
+			if got != want {
+				t.Errorf("seed %d %v: transcript diverged from allocating pipeline: got %v, want %v", g.seed, mode, got, want)
+			}
+		}
+	}
+}

@@ -37,6 +37,8 @@ type Node interface {
 	// topology (anonymous broadcast).
 	Send(round int) Message
 	// Receive delivers the messages of all neighbours for the round.
+	// The slice is engine-owned scratch, valid only for the duration of
+	// the call: implementations must copy what they keep.
 	Receive(round int, msgs []Message)
 	// Done reports whether the node has terminated.
 	Done() bool
@@ -114,6 +116,12 @@ type Engine struct {
 	cfg     Config
 	metrics Metrics
 	round   int
+	// msgs and inbuf are per-round scratch reused across Steps so the
+	// engine's own bookkeeping allocates nothing in steady state. Both
+	// are only valid within a Step: Receive implementations and
+	// Observers must not retain the slices they are handed.
+	msgs  []Message
+	inbuf []Message
 }
 
 // ErrBudgetExceeded is wrapped by errors returned when a node broadcasts
@@ -151,7 +159,13 @@ func (e *Engine) Step() error {
 	omni, isOmni := e.adv.(OmniscientAdversary)
 
 	var g *graph.Graph
-	msgs := make([]Message, len(e.nodes))
+	if len(e.msgs) != len(e.nodes) {
+		e.msgs = make([]Message, len(e.nodes))
+	}
+	msgs := e.msgs
+	for i := range msgs {
+		msgs[i] = nil
+	}
 
 	collect := func() error {
 		for i, n := range e.nodes {
@@ -204,12 +218,13 @@ func (e *Engine) Step() error {
 		if n.Done() {
 			continue
 		}
-		var in []Message
+		in := e.inbuf[:0]
 		for _, v := range g.Neighbors(i) {
 			if msgs[v] != nil {
 				in = append(in, msgs[v])
 			}
 		}
+		e.inbuf = in[:0]
 		n.Receive(e.round, in)
 	}
 	if e.cfg.Observer != nil {

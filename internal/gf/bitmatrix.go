@@ -17,29 +17,52 @@ import (
 // invariant by back-eliminating the existing rows against each new
 // pivot, so rank/decodability queries never have to clone the matrix or
 // redo elimination: they are O(rank) scans of the stored rows.
+//
+// Storage is a single contiguous []uint64 slab of stride-word rows.
+// Echelon order is an indirection (order[i] names the slab row holding
+// echelon row i), so Insert never moves row data — it reduces the
+// candidate in place in the next free slab row and, on success, splices
+// one index. The slab grows by doubling; Reset keeps it, so a decoder
+// slot reused across coding generations (the streaming layer's span
+// pool) performs no steady-state allocation.
 type BitMatrix struct {
-	cols int
-	rows []BitVec
-	lead []int
+	cols   int
+	stride int // words per row; len(slab) is a multiple of stride
+	slab   []uint64
+	// order maps echelon position -> slab row index. len(order) is the
+	// rank; slab row order[len(order)] onward is free space, and the
+	// first free row doubles as the Insert reduction scratch.
+	order []int32
+	lead  []int
 }
 
-// NewBitMatrix returns an empty echelon matrix with the given column count.
+// NewBitMatrix returns an empty echelon matrix with the given column
+// count. No row storage is allocated until the first Insert.
 func NewBitMatrix(cols int) *BitMatrix {
 	if cols < 0 {
 		panic("gf: negative BitMatrix column count")
 	}
-	return &BitMatrix{cols: cols}
+	return &BitMatrix{cols: cols, stride: (cols + 63) / 64}
 }
 
 // Cols returns the number of columns.
 func (m *BitMatrix) Cols() int { return m.cols }
 
 // Rank returns the current rank (number of stored rows).
-func (m *BitMatrix) Rank() int { return len(m.rows) }
+func (m *BitMatrix) Rank() int { return len(m.order) }
 
-// Row returns the i-th stored row (in echelon order). The returned vector
-// is the internal storage; callers must not modify it.
-func (m *BitMatrix) Row(i int) BitVec { return m.rows[i] }
+// rowAt returns a view of the slab row at the given slab index. The
+// view aliases the slab: it is invalidated by slab growth (Insert) and
+// mutated by back-elimination.
+func (m *BitMatrix) rowAt(idx int32) BitVec {
+	off := int(idx) * m.stride
+	return BitVec{n: m.cols, w: m.slab[off : off+m.stride : off+m.stride]}
+}
+
+// Row returns the i-th stored row (in echelon order). The returned
+// vector is a view of the internal slab; callers must not modify it and
+// must not hold it across Insert (growth may move the slab).
+func (m *BitMatrix) Row(i int) BitVec { return m.rowAt(m.order[i]) }
 
 // Lead returns the pivot column of the i-th stored row.
 func (m *BitMatrix) Lead(i int) int { return m.lead[i] }
@@ -56,22 +79,50 @@ func (m *BitMatrix) Reduce(v BitVec) BitVec {
 }
 
 func (m *BitMatrix) reduceInPlace(r BitVec) {
-	for i, row := range m.rows {
+	for i, idx := range m.order {
 		l := m.lead[i]
 		if r.Bit(l) {
 			// row is zero below its leading bit, so the xor can start
 			// at the pivot word.
-			r.XorRange(row, l, m.cols)
+			r.XorRange(m.rowAt(idx), l, m.cols)
 		}
 	}
+}
+
+// grow ensures the slab has room for one more row, doubling on demand.
+func (m *BitMatrix) grow() {
+	if m.stride == 0 {
+		return
+	}
+	need := (len(m.order) + 1) * m.stride
+	if need <= len(m.slab) {
+		return
+	}
+	newLen := len(m.slab) * 2
+	if newLen < need {
+		newLen = need
+	}
+	fresh := make([]uint64, newLen)
+	copy(fresh, m.slab)
+	m.slab = fresh
 }
 
 // Insert reduces v against the basis and, if the remainder is nonzero,
 // adds it as a new row, back-eliminating the older rows against the new
 // pivot so the matrix stays in reduced row echelon form. It reports
-// whether the rank grew.
+// whether the rank grew. The reduction happens in place in the next
+// free slab row, so a rejected (dependent) vector costs no allocation
+// and an accepted one costs none either once the slab has grown to the
+// working rank.
 func (m *BitMatrix) Insert(v BitVec) bool {
-	r := m.Reduce(v)
+	if v.Len() != m.cols {
+		panic(fmt.Sprintf("gf: BitMatrix insert of %d-bit vector into %d columns", v.Len(), m.cols))
+	}
+	m.grow()
+	free := int32(len(m.order))
+	r := m.rowAt(free)
+	r.CopyFrom(v)
+	m.reduceInPlace(r)
 	lb := r.LeadingBit()
 	if lb < 0 {
 		return false
@@ -80,13 +131,13 @@ func (m *BitMatrix) Insert(v BitVec) bool {
 	// Only rows before pos can see column lb: every later row's leading
 	// bit exceeds lb, so its bits at and below lb are already zero.
 	for j := 0; j < pos; j++ {
-		if m.rows[j].Bit(lb) {
-			m.rows[j].XorRange(r, lb, m.cols)
+		if row := m.rowAt(m.order[j]); row.Bit(lb) {
+			row.XorRange(r, lb, m.cols)
 		}
 	}
-	m.rows = append(m.rows, BitVec{})
-	copy(m.rows[pos+1:], m.rows[pos:])
-	m.rows[pos] = r
+	m.order = append(m.order, 0)
+	copy(m.order[pos+1:], m.order[pos:])
+	m.order[pos] = free
 	m.lead = append(m.lead, 0)
 	copy(m.lead[pos+1:], m.lead[pos:])
 	m.lead[pos] = lb
@@ -127,7 +178,7 @@ func (m *BitMatrix) UnitRow(c, prefix int) (BitVec, bool) {
 	if i < 0 {
 		return BitVec{}, false
 	}
-	row := m.rows[i]
+	row := m.Row(i)
 	want := 0
 	if c < prefix {
 		want = 1
@@ -149,36 +200,33 @@ func (m *BitMatrix) SpansUnitPrefix(prefix int) bool {
 }
 
 // Reset clears the matrix back to rank zero while keeping the column
-// count, so a decoder slot can be reused for a new coding generation
-// without reallocating the row and pivot slices.
+// count and the slab, so a decoder slot can be reused for a new coding
+// generation without reallocating row storage or the pivot bookkeeping.
 func (m *BitMatrix) Reset() {
-	for i := range m.rows {
-		m.rows[i] = BitVec{} // release row storage to the GC
-	}
-	m.rows = m.rows[:0]
+	m.order = m.order[:0]
 	m.lead = m.lead[:0]
 }
 
 // MemoryBytes returns the approximate heap bytes held by the matrix:
-// the packed row words plus the row/pivot bookkeeping slices. It is the
+// the slab plus the order/pivot bookkeeping slices. It is the
 // per-generation memory figure the streaming layer reports.
 func (m *BitMatrix) MemoryBytes() int {
-	b := 8*cap(m.lead) + 24*cap(m.rows)
-	for _, r := range m.rows {
-		b += 8 * len(r.w)
-	}
-	return b
+	return 8*cap(m.slab) + 8*cap(m.lead) + 4*cap(m.order)
 }
 
-// Clone returns a deep copy of the matrix.
+// Clone returns a deep copy of the matrix. The clone's slab is sized to
+// the clone's rank, not the original's capacity.
 func (m *BitMatrix) Clone() *BitMatrix {
 	c := &BitMatrix{
-		cols: m.cols,
-		rows: make([]BitVec, len(m.rows)),
-		lead: make([]int, len(m.lead)),
+		cols:   m.cols,
+		stride: m.stride,
+		slab:   make([]uint64, len(m.order)*m.stride),
+		order:  make([]int32, len(m.order)),
+		lead:   make([]int, len(m.lead)),
 	}
-	for i, r := range m.rows {
-		c.rows[i] = r.Clone()
+	for i, idx := range m.order {
+		copy(c.slab[i*m.stride:(i+1)*m.stride], m.slab[int(idx)*m.stride:(int(idx)+1)*m.stride])
+		c.order[i] = int32(i)
 	}
 	copy(c.lead, m.lead)
 	return c

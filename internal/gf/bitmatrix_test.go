@@ -227,3 +227,161 @@ func TestBitMatrixResetReuse(t *testing.T) {
 		}
 	}
 }
+
+// refMatrix is the pre-slab reference implementation: one heap
+// allocation per echelon row, identical insert/back-eliminate logic.
+// The slab-backed BitMatrix must agree with it on every observable.
+type refMatrix struct {
+	cols int
+	rows []BitVec
+	lead []int
+}
+
+func newRefMatrix(cols int) *refMatrix { return &refMatrix{cols: cols} }
+
+func (m *refMatrix) insert(v BitVec) bool {
+	r := v.Clone()
+	for i, row := range m.rows {
+		if r.Bit(m.lead[i]) {
+			r.XorRange(row, m.lead[i], m.cols)
+		}
+	}
+	lb := r.LeadingBit()
+	if lb < 0 {
+		return false
+	}
+	pos := 0
+	for pos < len(m.lead) && m.lead[pos] < lb {
+		pos++
+	}
+	for j := 0; j < pos; j++ {
+		if m.rows[j].Bit(lb) {
+			m.rows[j].XorRange(r, lb, m.cols)
+		}
+	}
+	m.rows = append(m.rows, BitVec{})
+	copy(m.rows[pos+1:], m.rows[pos:])
+	m.rows[pos] = r
+	m.lead = append(m.lead, 0)
+	copy(m.lead[pos+1:], m.lead[pos:])
+	m.lead[pos] = lb
+	return true
+}
+
+// TestBitMatrixSlabMatchesPerRow drives the slab-backed matrix and the
+// per-row reference through identical random insert sequences and
+// requires identical grow decisions, leads and row contents (identical
+// RREF) at every step.
+func TestBitMatrixSlabMatchesPerRow(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(200)
+		m := NewBitMatrix(cols)
+		ref := newRefMatrix(cols)
+		for i := 0; i < 3*cols/2; i++ {
+			v := randBV(cols, rng)
+			if m.Insert(v) != ref.insert(v) {
+				t.Logf("seed %d: grow decision diverged at insert %d", seed, i)
+				return false
+			}
+		}
+		if m.Rank() != len(ref.rows) {
+			return false
+		}
+		for i := 0; i < m.Rank(); i++ {
+			if m.Lead(i) != ref.lead[i] || !m.Row(i).Equal(ref.rows[i]) {
+				t.Logf("seed %d: row %d diverged", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitMatrixSlabDoublingBoundary inserts unit vectors one at a time
+// and checks ranks, leads and previously inserted rows exactly at and
+// around every slab-doubling boundary (rank 1, 2, 4, 8, ...), where a
+// growth bug (stale views, bad copy) would corrupt existing rows.
+func TestBitMatrixSlabDoublingBoundary(t *testing.T) {
+	const cols = 130 // three words per row, not word-aligned
+	m := NewBitMatrix(cols)
+	for i := 0; i < cols; i++ {
+		v := NewBitVec(cols)
+		v.Set(i, true)
+		if !m.Insert(v) {
+			t.Fatalf("unit vector %d rejected", i)
+		}
+		if m.Rank() != i+1 {
+			t.Fatalf("rank %d after %d inserts", m.Rank(), i+1)
+		}
+		// Verify every row inserted so far survived the growth.
+		for j := 0; j <= i; j++ {
+			row := m.Row(j)
+			if row.LeadingBit() != j || row.OnesCount() != 1 {
+				t.Fatalf("after insert %d: row %d = %s", i, j, row.String())
+			}
+		}
+	}
+}
+
+// TestBitMatrixResetReuseAfterGrowth grows a matrix through several
+// slab doublings, Resets it, and refills it with a different basis; the
+// refill must not observe any stale state and must not grow the slab.
+func TestBitMatrixResetReuseAfterGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const cols = 257
+	m := NewBitMatrix(cols)
+	for m.Rank() < cols {
+		m.Insert(randBV(cols, rng))
+	}
+	memAtFull := m.MemoryBytes()
+	for round := 0; round < 3; round++ {
+		m.Reset()
+		if m.Rank() != 0 {
+			t.Fatalf("rank %d after Reset", m.Rank())
+		}
+		ref := newRefMatrix(cols)
+		for i := 0; i < 2*cols; i++ {
+			v := randBV(cols, rng)
+			if m.Insert(v) != ref.insert(v) {
+				t.Fatalf("round %d: diverged from reference at insert %d", round, i)
+			}
+		}
+		for i := 0; i < m.Rank(); i++ {
+			if !m.Row(i).Equal(ref.rows[i]) {
+				t.Fatalf("round %d: row %d corrupted after reuse", round, i)
+			}
+		}
+		if got := m.MemoryBytes(); got != memAtFull {
+			t.Fatalf("round %d: slab reallocated after Reset: %d -> %d bytes", round, memAtFull, got)
+		}
+	}
+}
+
+// TestBitMatrixInsertZeroAllocAtCapacity pins the steady-state claim:
+// once the slab has grown to the working rank, further Inserts (both
+// rejected duplicates and a Reset/refill cycle) allocate nothing.
+func TestBitMatrixInsertZeroAllocAtCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const cols = 192
+	m := NewBitMatrix(cols)
+	vecs := make([]BitVec, cols)
+	for i := range vecs {
+		vecs[i] = randBV(cols, rng)
+	}
+	for _, v := range vecs {
+		m.Insert(v)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Reset()
+		for _, v := range vecs {
+			m.Insert(v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+refill at capacity allocated %.1f times per run, want 0", allocs)
+	}
+}

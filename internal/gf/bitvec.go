@@ -25,13 +25,81 @@ func NewBitVec(n int) BitVec {
 // BitVecFromBytes packs the first n bits of data (LSB-first within each
 // byte) into a BitVec of length n.
 func BitVecFromBytes(data []byte, n int) BitVec {
-	v := NewBitVec(n)
-	for i := 0; i < n; i++ {
-		if data[i/8]>>(uint(i)%8)&1 == 1 {
-			v.Set(i, true)
-		}
-	}
+	var v BitVec
+	v.SetFromBytes(data, n)
 	return v
+}
+
+// SetFromBytes reshapes v to n bits and fills it from the first
+// ceil(n/8) bytes of data (LSB-first within each byte), reusing v's
+// word storage when its capacity allows. Bits of data beyond n are
+// ignored. It is the zero-allocation decode primitive behind
+// wire.UnmarshalInto.
+func (v *BitVec) SetFromBytes(data []byte, n int) {
+	if n < 0 {
+		panic("gf: negative BitVec length")
+	}
+	need := (n + 7) / 8
+	if len(data) < need {
+		panic(fmt.Sprintf("gf: %d bytes cannot hold %d bits", len(data), n))
+	}
+	// Reshape without clearing: the loops below overwrite every word
+	// (the tail branch assigns the whole final word), so zeroing first
+	// would double the write traffic of the per-packet decode path.
+	words := (n + 63) / 64
+	if cap(v.w) >= words {
+		v.w = v.w[:words]
+	} else {
+		v.w = make([]uint64, words)
+	}
+	v.n = n
+	full := need / 8
+	for i := 0; i < full; i++ {
+		v.w[i] = uint64(data[8*i]) | uint64(data[8*i+1])<<8 |
+			uint64(data[8*i+2])<<16 | uint64(data[8*i+3])<<24 |
+			uint64(data[8*i+4])<<32 | uint64(data[8*i+5])<<40 |
+			uint64(data[8*i+6])<<48 | uint64(data[8*i+7])<<56
+	}
+	if full < len(v.w) {
+		var w uint64
+		for i := 8 * full; i < need; i++ {
+			w |= uint64(data[i]) << (8 * uint(i-8*full))
+		}
+		v.w[full] = w
+	}
+	v.maskTail()
+}
+
+// Resize reshapes v to n bits, all zero, reusing the word storage when
+// its capacity allows. It is the in-place counterpart of NewBitVec for
+// scratch vectors that live across iterations of a hot loop.
+func (v *BitVec) Resize(n int) {
+	if n < 0 {
+		panic("gf: negative BitVec length")
+	}
+	words := (n + 63) / 64
+	if cap(v.w) >= words {
+		v.w = v.w[:words]
+		v.Zero()
+	} else {
+		v.w = make([]uint64, words)
+	}
+	v.n = n
+}
+
+// Zero clears every bit in place.
+func (v BitVec) Zero() {
+	for i := range v.w {
+		v.w[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with u in place. The lengths must match.
+func (v BitVec) CopyFrom(u BitVec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf: BitVec length mismatch %d vs %d", v.n, u.n))
+	}
+	copy(v.w, u.w)
 }
 
 // Len returns the vector length in bits.
@@ -228,13 +296,28 @@ func (v BitVec) Equal(u BitVec) bool {
 
 // Bytes returns the vector packed LSB-first into ceil(n/8) bytes.
 func (v BitVec) Bytes() []byte {
-	out := make([]byte, (v.n+7)/8)
-	for i := 0; i < v.n; i++ {
-		if v.Bit(i) {
-			out[i/8] |= 1 << (uint(i) % 8)
+	return v.AppendBytes(make([]byte, 0, (v.n+7)/8))
+}
+
+// AppendBytes appends the vector packed LSB-first (ceil(n/8) bytes) to
+// buf and returns the extended slice. It works a word at a time and
+// performs no allocation when buf has capacity — the marshalling
+// primitive behind wire.Packet.AppendTo.
+func (v BitVec) AppendBytes(buf []byte) []byte {
+	total := (v.n + 7) / 8
+	full := total / 8
+	for i := 0; i < full; i++ {
+		w := v.w[i]
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	if full*8 < total {
+		w := v.w[full]
+		for b := 8 * full; b < total; b++ {
+			buf = append(buf, byte(w>>(8*uint(b-8*full))))
 		}
 	}
-	return out
+	return buf
 }
 
 // String renders the vector as a bit string, lowest index first.

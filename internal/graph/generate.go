@@ -62,21 +62,37 @@ func BinaryTree(n int) *Graph {
 // i >= 1 attaches to a uniformly random earlier vertex.
 func RandomTree(n int, rng *rand.Rand) *Graph {
 	g := New(n)
+	RandomTreeInto(g, n, rng)
+	return g
+}
+
+// RandomTreeInto rebuilds g in place as a random spanning tree, drawing
+// exactly the same edge sequence as RandomTree (seeded runs are
+// identical whichever entry point they use). Reusing one graph across
+// rounds is what keeps a per-round topology churn allocation-free.
+func RandomTreeInto(g *Graph, n int, rng *rand.Rand) {
+	g.Reset(n)
 	for i := 1; i < n; i++ {
 		g.AddEdge(i, rng.Intn(i))
 	}
-	return g
 }
 
 // RandomConnected returns a connected graph with roughly extra additional
 // random edges on top of a random spanning tree.
 func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
-	g := RandomTree(n, rng)
+	g := New(n)
+	RandomConnectedInto(g, n, extra, rng)
+	return g
+}
+
+// RandomConnectedInto rebuilds g in place as a random connected graph,
+// drawing exactly the same edge sequence as RandomConnected.
+func RandomConnectedInto(g *Graph, n, extra int, rng *rand.Rand) {
+	RandomTreeInto(g, n, rng)
 	for i := 0; i < extra; i++ {
 		u, v := rng.Intn(n), rng.Intn(n)
 		g.AddEdge(u, v)
 	}
-	return g
 }
 
 // RandomRegularish returns a connected graph where every vertex gets deg

@@ -41,6 +41,28 @@ func New(n int) *Graph {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
+// Reset empties g and resizes it to n vertices, keeping the adjacency
+// slices' capacity and the edge map's buckets so a generator that
+// rebuilds a similarly-sized topology into g every round (the dynamic
+// network adversaries) allocates nothing in steady state.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:n]
+	} else {
+		fresh := make([][]int, n)
+		copy(fresh, g.adj[:cap(g.adj)])
+		g.adj = fresh
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	clear(g.has)
+	g.n = n
+}
+
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.has) }
 

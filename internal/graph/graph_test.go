@@ -271,3 +271,48 @@ func TestCloneIndependent(t *testing.T) {
 		t.Error("clone shares storage with original")
 	}
 }
+
+// TestRandomConnectedIntoMatchesAllocating pins that the in-place
+// generators draw the same edge sequence as the allocating ones and
+// that Reset fully clears stale adjacency between rebuilds.
+func TestRandomConnectedIntoMatchesAllocating(t *testing.T) {
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(5))
+	scratch := New(0)
+	for round := 0; round < 30; round++ {
+		n := 2 + round%17
+		extra := round % 7
+		want := RandomConnected(n, extra, rngA)
+		RandomConnectedInto(scratch, n, extra, rngB)
+		if scratch.N() != want.N() || scratch.M() != want.M() {
+			t.Fatalf("round %d: size diverged: %d/%d vs %d/%d", round, scratch.N(), scratch.M(), want.N(), want.M())
+		}
+		we, ge := want.Edges(), scratch.Edges()
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("round %d: edge %d diverged", round, i)
+			}
+		}
+		for u := 0; u < n; u++ {
+			if scratch.Degree(u) != want.Degree(u) {
+				t.Fatalf("round %d: degree of %d diverged (stale adjacency?)", round, u)
+			}
+		}
+	}
+}
+
+// TestGraphResetSteadyStateZeroAlloc pins that rebuilding a same-sized
+// random topology into a warmed scratch graph allocates nothing.
+func TestGraphResetSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := New(64)
+	for i := 0; i < 10; i++ {
+		RandomConnectedInto(g, 64, 32, rng) // warm capacities and map buckets
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		RandomConnectedInto(g, 64, 32, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed rebuild allocated %.1f times per round, want 0", allocs)
+	}
+}

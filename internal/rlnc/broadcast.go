@@ -19,6 +19,10 @@ type BroadcastNode struct {
 	rng      *rand.Rand
 	schedule int
 	elapsed  int
+	// scratch is the reused Send combination: the engine collects every
+	// node's message before any delivery, and receivers copy the vector
+	// into their span, so one buffer per node is safe for a round.
+	scratch Coded
 }
 
 var _ dynnet.Node = (*BroadcastNode)(nil)
@@ -43,23 +47,27 @@ func NewBroadcastNode(k, payloadBits, schedule int, initial []Coded, rng *rand.R
 func (n *BroadcastNode) Span() *Span { return n.span }
 
 // Send broadcasts a random combination of the received subspace, or
-// nothing if the node has heard nothing yet.
+// nothing if the node has heard nothing yet. The returned message
+// points at a per-node scratch buffer that is valid until the node's
+// next Send; the engine's collect-then-deliver round structure
+// guarantees every receiver has copied it by then.
 func (n *BroadcastNode) Send(int) dynnet.Message {
-	c, ok := n.span.Combine(n.rng)
-	if !ok {
+	if !n.span.CombineInto(&n.scratch, n.rng) {
 		return nil
 	}
-	return c
+	return &n.scratch
 }
 
-// Receive inserts every received combination into the span.
+// Receive inserts every received combination into the span. Both Coded
+// values and the *Coded scratch views produced by Send are accepted.
 func (n *BroadcastNode) Receive(_ int, msgs []dynnet.Message) {
 	for _, m := range msgs {
-		c, ok := m.(Coded)
-		if !ok {
-			continue
+		switch c := m.(type) {
+		case Coded:
+			n.span.Add(c)
+		case *Coded:
+			n.span.Add(*c)
 		}
-		n.span.Add(c)
 	}
 	n.elapsed++
 }

@@ -91,50 +91,75 @@ func (s *Span) Add(c Coded) bool {
 	return s.mat.Insert(c.Vec)
 }
 
-// Combine returns a uniformly random linear combination of the span
+// CombineInto draws a uniformly random linear combination of the span
 // (equivalently, of all received vectors — they generate the same
-// subspace, and the sensing lemma only depends on the subspace). It
-// returns false if the span is empty, in which case the node stays
-// silent. Coefficient coins are drawn 64 at a time and each basis row is
-// xored starting at its pivot word.
-func (s *Span) Combine(rng *rand.Rand) (Coded, bool) {
+// subspace, and the sensing lemma only depends on the subspace) into
+// the caller-owned dst, reusing dst.Vec's storage when its capacity
+// allows. It returns false, leaving dst untouched, if the span is
+// empty, in which case the node stays silent. Coefficient coins are
+// drawn 64 at a time and each basis row is xored starting at its pivot
+// word, so the steady-state cost is pure word-level XOR with zero
+// allocation. The coin sequence is identical to Combine's: given equal
+// rng states the two produce bit-identical combinations.
+func (s *Span) CombineInto(dst *Coded, rng *rand.Rand) bool {
 	r := s.mat.Rank()
 	if r == 0 {
-		return Coded{}, false
+		return false
 	}
-	v := gf.NewBitVec(s.k + s.payload)
+	dst.K = s.k
+	dst.Vec.Resize(s.k + s.payload)
 	var coins uint64
 	for i := 0; i < r; i++ {
 		if i&63 == 0 {
 			coins = rng.Uint64()
 		}
 		if coins&1 == 1 {
-			v.XorRange(s.mat.Row(i), s.mat.Lead(i), s.k+s.payload)
+			dst.Vec.XorRange(s.mat.Row(i), s.mat.Lead(i), s.k+s.payload)
 		}
 		coins >>= 1
 	}
-	return Coded{K: s.k, Vec: v}, true
+	return true
 }
 
-// RandomCombination returns a uniformly random *nonzero* element of the
-// span. It is the recoding primitive of asynchronous gossip: a relay
-// re-randomizes its whole received subspace into one fresh packet
-// instead of forwarding any particular message. Combine already draws
-// uniformly from the span, but 1 in 2^rank of its draws is the zero
-// vector — a wasted packet on a real wire — so RandomCombination
-// rejection-samples the zero draw, which makes the output uniform over
-// the 2^rank - 1 nonzero span elements (expected < 2 draws even at rank
-// 1). It returns false if the span is empty.
-func (s *Span) RandomCombination(rng *rand.Rand) (Coded, bool) {
-	for {
-		c, ok := s.Combine(rng)
-		if !ok {
-			return Coded{}, false
-		}
-		if !c.Vec.IsZero() {
-			return c, true
-		}
+// Combine is the allocating wrapper around CombineInto: it returns a
+// fresh combination the caller owns.
+func (s *Span) Combine(rng *rand.Rand) (Coded, bool) {
+	var c Coded
+	if !s.CombineInto(&c, rng) {
+		return Coded{}, false
 	}
+	return c, true
+}
+
+// RandomCombinationInto draws a uniformly random *nonzero* element of
+// the span into the caller-owned dst. It is the recoding primitive of
+// asynchronous gossip: a relay re-randomizes its whole received
+// subspace into one fresh packet instead of forwarding any particular
+// message. CombineInto already draws uniformly from the span, but 1 in
+// 2^rank of its draws is the zero vector — a wasted packet on a real
+// wire — so RandomCombinationInto rejection-samples the zero draw,
+// which makes the output uniform over the 2^rank - 1 nonzero span
+// elements (expected < 2 draws even at rank 1). It returns false,
+// leaving dst untouched, if the span is empty.
+func (s *Span) RandomCombinationInto(dst *Coded, rng *rand.Rand) bool {
+	if !s.CombineInto(dst, rng) {
+		return false
+	}
+	for dst.Vec.IsZero() {
+		s.CombineInto(dst, rng)
+	}
+	return true
+}
+
+// RandomCombination is the allocating wrapper around
+// RandomCombinationInto: it returns a fresh nonzero combination the
+// caller owns.
+func (s *Span) RandomCombination(rng *rand.Rand) (Coded, bool) {
+	var c Coded
+	if !s.RandomCombinationInto(&c, rng) {
+		return Coded{}, false
+	}
+	return c, true
 }
 
 // Senses reports Definition 5.1: whether the node has received a vector

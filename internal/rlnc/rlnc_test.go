@@ -365,3 +365,78 @@ func TestSpanResetReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestCombineIntoMatchesCombine pins the tentpole equivalence: given
+// identical rng states, the in-place CombineInto/RandomCombinationInto
+// hot path and the allocating wrappers draw bit-identical combinations,
+// and a reused dst never leaks state between draws.
+func TestCombineIntoMatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(40)
+		d := 1 + rng.Intn(80)
+		s := NewSpan(k, d)
+		adds := rng.Intn(2 * k)
+		for i := 0; i < adds; i++ {
+			j := rng.Intn(k)
+			s.Add(Encode(j, k, gf.RandomBitVec(d, rng.Uint64)))
+		}
+		seed := rng.Int63()
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		var dst Coded
+		// Poison dst with unrelated content to prove Resize clears it.
+		dst.Vec = gf.RandomBitVec(k+d+17, rng.Uint64)
+		for draw := 0; draw < 50; draw++ {
+			want, okW := s.Combine(rngA)
+			okG := s.CombineInto(&dst, rngB)
+			if okW != okG {
+				t.Fatalf("trial %d draw %d: ok %v vs %v", trial, draw, okW, okG)
+			}
+			if !okW {
+				break
+			}
+			if dst.K != want.K || !dst.Vec.Equal(want.Vec) {
+				t.Fatalf("trial %d draw %d: CombineInto diverged from Combine", trial, draw)
+			}
+		}
+		rngA = rand.New(rand.NewSource(seed + 1))
+		rngB = rand.New(rand.NewSource(seed + 1))
+		for draw := 0; draw < 50; draw++ {
+			want, okW := s.RandomCombination(rngA)
+			okG := s.RandomCombinationInto(&dst, rngB)
+			if okW != okG {
+				t.Fatalf("trial %d draw %d: nonzero ok %v vs %v", trial, draw, okW, okG)
+			}
+			if !okW {
+				break
+			}
+			if dst.Vec.IsZero() {
+				t.Fatalf("trial %d draw %d: RandomCombinationInto produced zero", trial, draw)
+			}
+			if dst.K != want.K || !dst.Vec.Equal(want.Vec) {
+				t.Fatalf("trial %d draw %d: RandomCombinationInto diverged", trial, draw)
+			}
+		}
+	}
+}
+
+// TestCombineIntoSteadyStateZeroAlloc pins the zero-allocation claim
+// for the emission hot path: repeated draws into a warmed dst allocate
+// nothing.
+func TestCombineIntoSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const k, d = 64, 192
+	s := NewSpan(k, d)
+	for i := 0; i < k; i++ {
+		s.Add(Encode(i, k, gf.RandomBitVec(d, rng.Uint64)))
+	}
+	var dst Coded
+	s.RandomCombinationInto(&dst, rng) // warm dst
+	allocs := testing.AllocsPerRun(100, func() {
+		s.RandomCombinationInto(&dst, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("RandomCombinationInto allocated %.1f times per draw, want 0", allocs)
+	}
+}

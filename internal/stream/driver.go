@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/wire"
 )
 
 // runLockstep is the deterministic driver: per tick, every node drains
@@ -59,9 +58,7 @@ func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []
 			for drained := false; !drained; {
 				select {
 				case raw := <-inbox:
-					if p, err := wire.Unmarshal(raw); err == nil {
-						nd.absorb(p)
-					}
+					nd.recv(raw)
 				default:
 					drained = true
 				}
@@ -132,11 +129,7 @@ func runAsync(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*no
 				case <-ctx.Done():
 					return
 				case raw := <-tr.Recv(nd.id):
-					p, err := wire.Unmarshal(raw)
-					if err != nil {
-						continue
-					}
-					if nd.absorb(p) {
+					if nd.recv(raw) {
 						if fail() {
 							return
 						}

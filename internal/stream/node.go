@@ -71,6 +71,14 @@ type node struct {
 	// cands is the emission candidate scratch buffer.
 	cands []int
 
+	// tx/rx are the node's reusable packet scratches (emitInto /
+	// UnmarshalInto targets) and ring recycles wire buffers between the
+	// node's receive and send sides; all three are only ever touched by
+	// the goroutine driving this node.
+	tx   wire.Packet
+	rx   wire.Packet
+	ring *cluster.BufRing
+
 	m *NodeMetrics
 	// err records a delivery verification failure; the drivers abort
 	// the run when set.
@@ -92,8 +100,16 @@ func newNode(id int, cfg Config, src Source, m *NodeMetrics) *node {
 		deliver: cfg.Deliver,
 		spans:   make(map[int]*genState),
 		marks:   make([]int, cfg.N),
+		ring:    cluster.NewBufRing(cluster.DefaultRingCap),
 		m:       m,
 	}
+}
+
+// recv decodes one drained inbox buffer into the rx scratch, absorbs
+// it, and recycles the buffer into the node's ring. It reports whether
+// the packet changed the node's state.
+func (nd *node) recv(raw []byte) bool {
+	return cluster.DecodeRecycle(&nd.rx, nd.ring, raw) && nd.absorb(&nd.rx)
 }
 
 // ensureGen returns generation g's state, creating the span (from the
@@ -246,8 +262,9 @@ func (nd *node) done() bool { return nd.delivered >= nd.gens }
 
 // absorb ingests one packet, reporting whether it changed this node's
 // state (grew a span or advanced a watermark) — the async driver's
-// emit-on-progress trigger.
-func (nd *node) absorb(p wire.Packet) bool {
+// emit-on-progress trigger. The packet is the caller's reused scratch:
+// everything retained (span rows, watermarks, rank bits) is copied.
+func (nd *node) absorb(p *wire.Packet) bool {
 	switch p.Env.Type {
 	case wire.TypeCoded:
 		nd.m.PacketsIn++
@@ -321,10 +338,11 @@ func (nd *node) mergeMark(id, w int) bool {
 	return true
 }
 
-// emitData draws one fresh coded packet from the active window,
-// round-robining across the generations that have anything to say. A
-// decoded generation keeps recoding for stragglers until it retires.
-func (nd *node) emitData() (wire.Packet, bool) {
+// emitDataInto draws one fresh coded packet from the active window into
+// the node's tx scratch, round-robining across the generations that
+// have anything to say. A decoded generation keeps recoding for
+// stragglers until it retires.
+func (nd *node) emitDataInto(p *wire.Packet) bool {
 	hi := nd.base + nd.window
 	if hi > nd.gens {
 		hi = nd.gens
@@ -339,26 +357,31 @@ func (nd *node) emitData() (wire.Packet, bool) {
 		}
 	}
 	if len(nd.cands) == 0 {
-		return wire.Packet{}, false
+		return false
 	}
 	g := nd.cands[nd.cursor%len(nd.cands)]
 	nd.cursor++
-	cmb, ok := nd.spans[g].span.RandomCombination(nd.rng)
-	if !ok {
-		return wire.Packet{}, false
+	if !nd.spans[g].span.RandomCombinationInto(&p.Coded, nd.rng) {
+		return false
 	}
-	return wire.NewCoded(nd.id, g, cmb), true
+	p.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: uint32(nd.id), Epoch: uint32(g)}
+	return true
 }
 
-// emitAck summarizes this node's progress: its watermark, the span
-// ranks of its active window, and its full gossip view of peer
-// watermarks.
-func (nd *node) emitAck() wire.Packet {
+// emitAckInto summarizes this node's progress into the tx scratch: its
+// watermark, the span ranks of its active window, and its full gossip
+// view of peer watermarks. The scratch's entry slices are truncated and
+// refilled, so steady-state acks allocate nothing.
+func (nd *node) emitAckInto(p *wire.Packet) {
 	hi := nd.base + nd.window
 	if hi > nd.gens {
 		hi = nd.gens
 	}
-	ack := wire.Ack{Watermark: uint32(nd.delivered)}
+	p.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeAck, Sender: uint32(nd.id), Epoch: uint32(nd.delivered)}
+	ack := &p.Ack
+	ack.Watermark = uint32(nd.delivered)
+	ack.Ranks = ack.Ranks[:0]
+	ack.Peers = ack.Peers[:0]
 	for g := nd.base; g < hi; g++ {
 		if gs, ok := nd.spans[g]; ok {
 			ack.Ranks = append(ack.Ranks, wire.GenRank{Gen: uint32(g), Rank: uint32(gs.span.Rank())})
@@ -372,7 +395,6 @@ func (nd *node) emitAck() wire.Packet {
 			ack.Peers = append(ack.Peers, wire.PeerMark{Node: uint32(i), Watermark: uint32(w)})
 		}
 	}
-	return wire.NewAck(nd.id, nd.delivered, ack)
 }
 
 // randPeer picks a uniform peer other than the node itself.
@@ -384,21 +406,23 @@ func (nd *node) randPeer() int {
 	return p
 }
 
-// pushData sends up to fanout fresh coded packets to random peers.
+// pushData sends up to fanout fresh coded packets to random peers,
+// marshalling each through a recycled ring buffer.
 func (nd *node) pushData(tr cluster.Transport) {
 	if nd.n < 2 {
 		return
 	}
 	for f := 0; f < nd.fanout; f++ {
-		pkt, ok := nd.emitData()
-		if !ok {
+		if !nd.emitDataInto(&nd.tx) {
 			return
 		}
 		peer := nd.randPeer()
 		nd.m.PacketsOut++
-		nd.m.BitsOut += int64(pkt.Bits())
-		if !tr.Send(nd.id, peer, pkt.Marshal()) {
+		nd.m.BitsOut += int64(nd.tx.Bits())
+		buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+		if !tr.Send(nd.id, peer, buf) {
 			nd.m.Dropped++
+			nd.ring.Put(buf)
 		}
 	}
 }
@@ -408,11 +432,13 @@ func (nd *node) pushAck(tr cluster.Transport) {
 	if nd.n < 2 {
 		return
 	}
-	pkt := nd.emitAck()
+	nd.emitAckInto(&nd.tx)
 	peer := nd.randPeer()
 	nd.m.AcksOut++
-	nd.m.BitsOut += int64(pkt.Bits())
-	if !tr.Send(nd.id, peer, pkt.Marshal()) {
+	nd.m.BitsOut += int64(nd.tx.Bits())
+	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
+		nd.ring.Put(buf)
 	}
 }

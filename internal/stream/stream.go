@@ -34,6 +34,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -55,19 +56,67 @@ type Source interface {
 // seededSource derives generation g's tokens purely from (seed, g):
 // token j of generation g has UID owner j, sequence g, and a random
 // payload drawn from a generation-local PRNG.
+//
+// Because every node consults the source several times per generation
+// (origins inject their share, verifiers check deliveries), the source
+// memoizes a bounded window of recently built generations; entries are
+// rebuilt on demand if evicted, so the cache is purely a hot-path
+// allocation saver and never changes what Generation returns. Returned
+// slices are shared and must be treated as immutable, which the
+// stream's consumers (read-only injection and verification) obey.
 type seededSource struct {
 	k, d int
 	seed int64
+
+	mu    sync.Mutex
+	cache map[int][]token.Token
 }
+
+// sourceCacheCap bounds the memoized generations; it comfortably covers
+// the active windows of every node (spread over at most a few
+// generations around the cluster-wide frontier) without growing with
+// stream length.
+const sourceCacheCap = 32
 
 // NewSeededSource returns the default deterministic stream: k tokens of
 // d payload bits per generation, all randomness derived from the seed
 // and the generation number alone.
 func NewSeededSource(k, d int, seed int64) Source {
-	return seededSource{k: k, d: d, seed: seed}
+	return &seededSource{k: k, d: d, seed: seed, cache: make(map[int][]token.Token)}
 }
 
-func (s seededSource) Generation(g int) []token.Token {
+func (s *seededSource) Generation(g int) []token.Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if out, ok := s.cache[g]; ok {
+		return out
+	}
+	out := s.buildUncached(g)
+	if len(s.cache) >= sourceCacheCap {
+		// Evict the cached generation farthest from g: consumers cluster
+		// around the advancing frontier, so distance from the current
+		// request is the best staleness signal — and unlike "evict the
+		// minimum" it bounds the cache even when a straggler walks
+		// backward through generations older than everything cached.
+		victim, dist := g, -1
+		for have := range s.cache {
+			d := have - g
+			if d < 0 {
+				d = -d
+			}
+			if d > dist {
+				victim, dist = have, d
+			}
+		}
+		delete(s.cache, victim)
+	}
+	s.cache[g] = out
+	return out
+}
+
+// buildUncached constructs generation g's tokens from the seed alone —
+// the pure function the cache memoizes.
+func (s *seededSource) buildUncached(g int) []token.Token {
 	rng := newGenRand(s.seed, g)
 	out := make([]token.Token, s.k)
 	for j := range out {

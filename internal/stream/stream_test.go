@@ -329,3 +329,73 @@ func TestStreamObservesContext(t *testing.T) {
 		t.Errorf("ticks = %d, want 0 for a pre-canceled context", res.Ticks)
 	}
 }
+
+// TestStreamLockstepGoldenTranscripts pins exact lockstep streaming run
+// fingerprints under loss. Like the cluster goldens, the values come
+// from the pre-pooling (allocating) pipeline, proving the pooled
+// zero-allocation path — ring-recycled buffers, scratch packets, the
+// memoized source — reproduces it bit for bit.
+func TestStreamLockstepGoldenTranscripts(t *testing.T) {
+	ctx := context.Background()
+	goldens := []struct {
+		seed                      int64
+		ticks                     int
+		out, in, acks, bits, drop int64
+		delivered                 int64
+	}{
+		{1, 61, 960, 767, 480, 393408, 300, 288},
+		{2, 57, 896, 729, 448, 372928, 268, 288},
+		{3, 59, 928, 759, 464, 379008, 279, 288},
+		{4, 57, 896, 720, 448, 355200, 262, 288},
+		{5, 59, 928, 735, 464, 373504, 297, 288},
+	}
+	for _, g := range goldens {
+		tr := cluster.WithLoss(cluster.NewChanTransport(8, InboxBuffer(8, 2)), 0.2, g.seed+3)
+		res, err := Run(ctx, Config{
+			N: 8, K: 6, PayloadBits: 48, Window: 3, Generations: 6,
+			Seed: g.seed, Transport: tr, Lockstep: true, MaxTicks: 200000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", g.seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: incomplete", g.seed)
+		}
+		got := [7]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.AcksOut, res.BitsOut, res.Dropped, res.TokensDelivered}
+		want := [7]int64{int64(g.ticks), g.out, g.in, g.acks, g.bits, g.drop, g.delivered}
+		if got != want {
+			t.Errorf("seed %d: transcript diverged from allocating pipeline: got %v, want %v", g.seed, got, want)
+		}
+	}
+}
+
+// TestSeededSourceCacheBounded walks generation requests in adversarial
+// orders — including strictly backward below everything cached, the
+// pattern that defeated evict-the-minimum — and requires the memo cache
+// to stay within its cap while still returning correct tokens.
+func TestSeededSourceCacheBounded(t *testing.T) {
+	src := NewSeededSource(4, 16, 99).(*seededSource)
+	fresh := NewSeededSource(4, 16, 99)
+	check := func(g int) {
+		got := src.Generation(g)
+		wantToks := fresh.(*seededSource).buildUncached(g)
+		for j := range wantToks {
+			if !got[j].Equal(wantToks[j]) {
+				t.Fatalf("generation %d token %d diverged under eviction", g, j)
+			}
+		}
+		if len(src.cache) > sourceCacheCap {
+			t.Fatalf("cache grew to %d entries (cap %d) at generation %d", len(src.cache), sourceCacheCap, g)
+		}
+	}
+	for g := 0; g < 3*sourceCacheCap; g++ { // forward
+		check(g)
+	}
+	for g := 3 * sourceCacheCap; g >= 0; g-- { // strictly backward
+		check(g)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ { // random jumps
+		check(rng.Intn(10 * sourceCacheCap))
+	}
+}

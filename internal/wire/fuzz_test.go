@@ -3,11 +3,21 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"repro/internal/gf"
 	"repro/internal/rlnc"
 	"repro/internal/token"
+)
+
+// scratch state shared across fuzz iterations: reusing one Packet and
+// one buffer across decodes is exactly the hot-path usage pattern the
+// Into/Append APIs exist for, so the fuzzer exercises storage-reuse
+// bugs (stale slices, missed truncation) for free.
+var (
+	scratch    Packet
+	scratchBuf []byte
 )
 
 // FuzzWireRoundTrip checks both halves of the codec contract:
@@ -38,7 +48,8 @@ func FuzzWireRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decoder-first.
-		if p, err := Unmarshal(data); err == nil {
+		p, err := Unmarshal(data)
+		if err == nil {
 			out := p.Marshal()
 			if !bytes.Equal(out, data) {
 				t.Fatalf("accepted %x but re-marshaled %x", data, out)
@@ -46,6 +57,28 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if p.Bits() < 0 {
 				t.Fatalf("negative Bits %d", p.Bits())
 			}
+		} else {
+			// Every rejection must be classifiable by kind: ad-hoc error
+			// strings are not an API, the wrapped sentinels are.
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrType) && !errors.Is(err, ErrMalformed) {
+				t.Fatalf("rejection not wrapped in a wire sentinel: %v", err)
+			}
+		}
+
+		// UnmarshalInto must accept and reject exactly the same inputs as
+		// Unmarshal, including when its scratch packet carries stale
+		// storage from a previous (different-typed) decode.
+		intoErr := UnmarshalInto(&scratch, data)
+		if (intoErr == nil) != (err == nil) {
+			t.Fatalf("UnmarshalInto and Unmarshal disagree on %x: %v vs %v", data, intoErr, err)
+		}
+		if intoErr == nil {
+			out := scratch.AppendTo(scratchBuf[:0])
+			if !bytes.Equal(out, data) {
+				t.Fatalf("scratch decode of %x re-marshaled %x", data, out)
+			}
+			scratchBuf = out
 		}
 
 		// Encoder-first: derive a structured packet from the raw input.
@@ -56,7 +89,6 @@ func FuzzWireRoundTrip(f *testing.F) {
 		epoch := int(binary.LittleEndian.Uint32(data[4:8]) % (1 << 20))
 		bits := int(data[8]) + int(data[9]) // 0..510
 		body := data[12:]
-		var p Packet
 		switch data[10] % 3 {
 		case 0:
 			k := bits / 2

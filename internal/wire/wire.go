@@ -206,10 +206,21 @@ func (p Packet) WireBytes() int {
 	return HeaderBytes
 }
 
-// Marshal serializes the packet. It panics on an envelope type the
-// codec does not know (a programming error, not a wire condition).
+// Marshal serializes the packet into a fresh buffer. It panics on an
+// envelope type the codec does not know (a programming error, not a
+// wire condition).
 func (p Packet) Marshal() []byte {
-	out := make([]byte, 0, p.WireBytes())
+	return p.AppendTo(make([]byte, 0, p.WireBytes()))
+}
+
+// AppendTo appends the packet's serialization to buf and returns the
+// extended slice, producing byte-for-byte the same encoding as Marshal.
+// It performs no allocation when buf has WireBytes of spare capacity —
+// the emission hot path hands it a recycled buffer (buf[:0]) so a
+// steady-state packet round-trip reuses one allocation indefinitely.
+// Like Marshal it panics on an unknown envelope type.
+func (p Packet) AppendTo(buf []byte) []byte {
+	out := buf
 	out = append(out, p.Env.Version, byte(p.Env.Type))
 	out = binary.LittleEndian.AppendUint32(out, p.Env.Sender)
 	out = binary.LittleEndian.AppendUint32(out, p.Env.Epoch)
@@ -217,11 +228,11 @@ func (p Packet) Marshal() []byte {
 	case TypeCoded:
 		out = binary.LittleEndian.AppendUint32(out, uint32(p.Coded.K))
 		out = binary.LittleEndian.AppendUint32(out, uint32(p.Coded.Vec.Len()))
-		out = append(out, p.Coded.Vec.Bytes()...)
+		out = p.Coded.Vec.AppendBytes(out)
 	case TypeToken:
 		out = binary.LittleEndian.AppendUint64(out, uint64(p.Token.UID))
 		out = binary.LittleEndian.AppendUint32(out, uint32(p.Token.Payload.Len()))
-		out = append(out, p.Token.Payload.Bytes()...)
+		out = p.Token.Payload.AppendBytes(out)
 	case TypeAck:
 		out = binary.LittleEndian.AppendUint32(out, p.Ack.Watermark)
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Ack.Ranks)))
@@ -244,8 +255,26 @@ func (p Packet) Marshal() []byte {
 // lengths, spare bits and the absence of trailing bytes, so that
 // Marshal(Unmarshal(b)) == b for every accepted b.
 func Unmarshal(data []byte) (Packet, error) {
+	var p Packet
+	if err := UnmarshalInto(&p, data); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// UnmarshalInto parses one packet into p, reusing p's body storage (the
+// coded vector, token payload and ack entry slices) so a receive loop
+// that decodes every packet into one per-node scratch Packet allocates
+// nothing in steady state. It validates exactly what Unmarshal does and
+// accepts exactly the same byte strings. On success only the body
+// selected by the decoded envelope type is meaningful; the other bodies
+// hold stale storage kept for reuse, and any previously decoded body is
+// overwritten, so callers that retain decoded contents past the next
+// UnmarshalInto call must copy them first. On error p's contents are
+// unspecified (but safe to reuse).
+func UnmarshalInto(p *Packet, data []byte) error {
 	if len(data) < HeaderBytes {
-		return Packet{}, fmt.Errorf("%w: %d bytes < %d-byte header", ErrTruncated, len(data), HeaderBytes)
+		return fmt.Errorf("%w: %d bytes < %d-byte header", ErrTruncated, len(data), HeaderBytes)
 	}
 	env := Envelope{
 		Version: data[0],
@@ -254,97 +283,99 @@ func Unmarshal(data []byte) (Packet, error) {
 		Epoch:   binary.LittleEndian.Uint32(data[6:10]),
 	}
 	if env.Version != Version {
-		return Packet{}, fmt.Errorf("%w: %d", ErrVersion, env.Version)
+		return fmt.Errorf("%w: %d", ErrVersion, env.Version)
 	}
 	body := data[HeaderBytes:]
 	switch env.Type {
 	case TypeCoded:
 		if len(body) < 8 {
-			return Packet{}, fmt.Errorf("%w: coded body %d bytes < 8", ErrTruncated, len(body))
+			return fmt.Errorf("%w: coded body %d bytes < 8", ErrTruncated, len(body))
 		}
 		k := binary.LittleEndian.Uint32(body[0:4])
 		vecBits := binary.LittleEndian.Uint32(body[4:8])
 		if vecBits > MaxVecBits {
-			return Packet{}, fmt.Errorf("%w: coded vector %d bits exceeds cap", ErrMalformed, vecBits)
+			return fmt.Errorf("%w: coded vector %d bits exceeds cap", ErrMalformed, vecBits)
 		}
 		if k > vecBits {
-			return Packet{}, fmt.Errorf("%w: k=%d exceeds vector length %d", ErrMalformed, k, vecBits)
+			return fmt.Errorf("%w: k=%d exceeds vector length %d", ErrMalformed, k, vecBits)
 		}
-		vec, err := bitvecFromWire(body[8:], int(vecBits))
-		if err != nil {
-			return Packet{}, err
+		if err := bitvecFromWire(&p.Coded.Vec, body[8:], int(vecBits)); err != nil {
+			return err
 		}
-		return Packet{Env: env, Coded: rlnc.Coded{K: int(k), Vec: vec}}, nil
+		p.Env = env
+		p.Coded.K = int(k)
+		return nil
 	case TypeToken:
 		if len(body) < 12 {
-			return Packet{}, fmt.Errorf("%w: token body %d bytes < 12", ErrTruncated, len(body))
+			return fmt.Errorf("%w: token body %d bytes < 12", ErrTruncated, len(body))
 		}
 		uid := binary.LittleEndian.Uint64(body[0:8])
 		payloadBits := binary.LittleEndian.Uint32(body[8:12])
 		if payloadBits > MaxVecBits {
-			return Packet{}, fmt.Errorf("%w: token payload %d bits exceeds cap", ErrMalformed, payloadBits)
+			return fmt.Errorf("%w: token payload %d bits exceeds cap", ErrMalformed, payloadBits)
 		}
-		payload, err := bitvecFromWire(body[12:], int(payloadBits))
-		if err != nil {
-			return Packet{}, err
+		if err := bitvecFromWire(&p.Token.Payload, body[12:], int(payloadBits)); err != nil {
+			return err
 		}
-		return Packet{Env: env, Token: token.Token{UID: token.UID(uid), Payload: payload}}, nil
+		p.Env = env
+		p.Token.UID = token.UID(uid)
+		return nil
 	case TypeAck:
 		if len(body) < 8 {
-			return Packet{}, fmt.Errorf("%w: ack body %d bytes < 8", ErrTruncated, len(body))
+			return fmt.Errorf("%w: ack body %d bytes < 8", ErrTruncated, len(body))
 		}
-		a := Ack{Watermark: binary.LittleEndian.Uint32(body[0:4])}
+		a := &p.Ack
 		nRanks := binary.LittleEndian.Uint32(body[4:8])
 		if nRanks > MaxAckEntries {
-			return Packet{}, fmt.Errorf("%w: ack rank count %d exceeds cap", ErrMalformed, nRanks)
+			return fmt.Errorf("%w: ack rank count %d exceeds cap", ErrMalformed, nRanks)
 		}
 		rest := body[8:]
 		if uint64(len(rest)) < 8*uint64(nRanks)+4 {
-			return Packet{}, fmt.Errorf("%w: ack body %d bytes for %d rank entries", ErrTruncated, len(body), nRanks)
+			return fmt.Errorf("%w: ack body %d bytes for %d rank entries", ErrTruncated, len(body), nRanks)
 		}
-		if nRanks > 0 {
-			a.Ranks = make([]GenRank, nRanks)
-			for i := range a.Ranks {
-				a.Ranks[i] = GenRank{
-					Gen:  binary.LittleEndian.Uint32(rest[8*i:]),
-					Rank: binary.LittleEndian.Uint32(rest[8*i+4:]),
-				}
-			}
+		a.Watermark = binary.LittleEndian.Uint32(body[0:4])
+		a.Ranks = a.Ranks[:0]
+		for i := 0; i < int(nRanks); i++ {
+			a.Ranks = append(a.Ranks, GenRank{
+				Gen:  binary.LittleEndian.Uint32(rest[8*i:]),
+				Rank: binary.LittleEndian.Uint32(rest[8*i+4:]),
+			})
 		}
 		rest = rest[8*nRanks:]
 		nPeers := binary.LittleEndian.Uint32(rest[0:4])
 		if nPeers > MaxAckEntries {
-			return Packet{}, fmt.Errorf("%w: ack peer count %d exceeds cap", ErrMalformed, nPeers)
+			return fmt.Errorf("%w: ack peer count %d exceeds cap", ErrMalformed, nPeers)
 		}
 		rest = rest[4:]
 		if uint64(len(rest)) != 8*uint64(nPeers) {
-			return Packet{}, fmt.Errorf("%w: %d trailing ack bytes for %d peer entries (want %d)", ErrMalformed, len(rest), nPeers, 8*uint64(nPeers))
+			return fmt.Errorf("%w: %d trailing ack bytes for %d peer entries (want %d)", ErrMalformed, len(rest), nPeers, 8*uint64(nPeers))
 		}
-		if nPeers > 0 {
-			a.Peers = make([]PeerMark, nPeers)
-			for i := range a.Peers {
-				a.Peers[i] = PeerMark{
-					Node:      binary.LittleEndian.Uint32(rest[8*i:]),
-					Watermark: binary.LittleEndian.Uint32(rest[8*i+4:]),
-				}
-			}
+		a.Peers = a.Peers[:0]
+		for i := 0; i < int(nPeers); i++ {
+			a.Peers = append(a.Peers, PeerMark{
+				Node:      binary.LittleEndian.Uint32(rest[8*i:]),
+				Watermark: binary.LittleEndian.Uint32(rest[8*i+4:]),
+			})
 		}
-		return Packet{Env: env, Ack: a}, nil
+		p.Env = env
+		return nil
 	default:
-		return Packet{}, fmt.Errorf("%w: %d", ErrType, env.Type)
+		return fmt.Errorf("%w: %d", ErrType, env.Type)
 	}
 }
 
 // bitvecFromWire decodes an n-bit LSB-first vector that must occupy
 // exactly the remaining bytes, with all spare bits of the last byte
-// zero (the canonical encoding Marshal produces).
-func bitvecFromWire(b []byte, n int) (gf.BitVec, error) {
+// zero (the canonical encoding Marshal produces), into the caller's
+// reusable vector.
+func bitvecFromWire(v *gf.BitVec, b []byte, n int) error {
 	need := (n + 7) / 8
 	if len(b) != need {
-		return gf.BitVec{}, fmt.Errorf("%w: %d payload bytes for %d bits (want %d)", ErrMalformed, len(b), n, need)
+		return fmt.Errorf("%w: %d payload bytes for %d bits (want %d)", ErrMalformed, len(b), n, need)
 	}
 	if n%8 != 0 && b[need-1]>>(uint(n)%8) != 0 {
-		return gf.BitVec{}, fmt.Errorf("%w: nonzero spare bits in final byte", ErrMalformed)
+		return fmt.Errorf("%w: nonzero spare bits in final byte", ErrMalformed)
 	}
-	return gf.BitVecFromBytes(b, n), nil
+	v.SetFromBytes(b, n)
+	return nil
 }

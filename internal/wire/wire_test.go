@@ -308,3 +308,86 @@ func TestMarshalUnknownTypePanics(t *testing.T) {
 	}()
 	Packet{Env: Envelope{Version: Version, Type: 9}}.Marshal()
 }
+
+// samplePackets returns one packet of each wire type with non-trivial
+// bodies, for exercising the append/into codec paths.
+func samplePackets(t *testing.T) []Packet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	return []Packet{
+		NewCoded(3, 9, rlnc.Encode(5, 32, gf.RandomBitVec(161, rng.Uint64))),
+		NewToken(7, 1, token.Token{UID: token.NewUID(2, 11), Payload: gf.RandomBitVec(77, rng.Uint64)}),
+		NewAck(2, 4, Ack{
+			Watermark: 6,
+			Ranks:     []GenRank{{Gen: 6, Rank: 12}, {Gen: 7, Rank: 3}},
+			Peers:     []PeerMark{{Node: 0, Watermark: 6}, {Node: 3, Watermark: 5}},
+		}),
+	}
+}
+
+// TestAppendToMatchesMarshal pins AppendTo as a byte-exact drop-in for
+// Marshal, including appending after existing content.
+func TestAppendToMatchesMarshal(t *testing.T) {
+	for _, p := range samplePackets(t) {
+		want := p.Marshal()
+		if got := p.AppendTo(nil); !bytes.Equal(got, want) {
+			t.Errorf("type %d: AppendTo(nil) != Marshal", p.Env.Type)
+		}
+		prefix := []byte{0xde, 0xad}
+		got := p.AppendTo(prefix)
+		if !bytes.Equal(got[:2], prefix) || !bytes.Equal(got[2:], want) {
+			t.Errorf("type %d: AppendTo with prefix corrupted output", p.Env.Type)
+		}
+		if len(want) != p.WireBytes() {
+			t.Errorf("type %d: WireBytes %d != marshaled length %d", p.Env.Type, p.WireBytes(), len(want))
+		}
+	}
+}
+
+// TestUnmarshalIntoReuse decodes alternating packet types into one
+// scratch Packet and requires every decode to match the allocating
+// Unmarshal exactly, proving stale cross-type storage never leaks.
+func TestUnmarshalIntoReuse(t *testing.T) {
+	pkts := samplePackets(t)
+	var scratch Packet
+	for round := 0; round < 3; round++ {
+		for _, p := range pkts {
+			raw := p.Marshal()
+			if err := UnmarshalInto(&scratch, raw); err != nil {
+				t.Fatalf("type %d: UnmarshalInto: %v", p.Env.Type, err)
+			}
+			want, err := Unmarshal(raw)
+			if err != nil {
+				t.Fatalf("type %d: Unmarshal: %v", p.Env.Type, err)
+			}
+			if scratch.Env != want.Env {
+				t.Fatalf("type %d: envelope diverged", p.Env.Type)
+			}
+			if !bytes.Equal(scratch.Marshal(), raw) {
+				t.Fatalf("type %d: scratch re-marshal diverged after reuse", p.Env.Type)
+			}
+		}
+	}
+}
+
+// TestWireRoundTripSteadyStateZeroAlloc pins the tentpole claim for the
+// codec layer: a marshal→unmarshal round trip through one reused buffer
+// and one reused scratch Packet allocates nothing.
+func TestWireRoundTripSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := NewCoded(3, 9, rlnc.Encode(5, 32, gf.RandomBitVec(160, rng.Uint64)))
+	var scratch Packet
+	buf := p.AppendTo(nil)
+	if err := UnmarshalInto(&scratch, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.AppendTo(buf[:0])
+		if err := UnmarshalInto(&scratch, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wire round trip allocated %.1f times per op, want 0", allocs)
+	}
+}

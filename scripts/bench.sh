@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository benchmark suite once with allocation
+# reporting and machine-readable output, and optionally (re)generate the
+# committed allocation baseline.
+#
+#   scripts/bench.sh            # run benches, print output, gate against
+#                               # BENCH_PR4.json (what CI does)
+#   scripts/bench.sh --write    # run benches and rewrite BENCH_PR4.json
+#                               # (do this when a PR intentionally moves
+#                               # the allocation floor, and commit it)
+#
+# The run is `-benchtime 1x`: every benchmark executes its measured body
+# once, which is enough for allocs/op (allocation counts are
+# deterministic under the fixed seeds) and keeps the gate fast. ns/op
+# from a 1x run is noisy and is recorded for trajectory only — the gate
+# enforces allocs/op alone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test -run xxx -bench . -benchtime 1x -benchmem ./... | tee "$OUT"
+
+if [[ "${1:-}" == "--write" ]]; then
+  go run ./cmd/benchguard -write -out BENCH_PR4.json < "$OUT"
+else
+  go run ./cmd/benchguard -baseline BENCH_PR4.json < "$OUT"
+fi
