@@ -344,6 +344,42 @@ func BenchmarkE12StreamWindows(b *testing.B) {
 	b.ReportMetric(float64(seqTicks)/float64(pipeTicks), "pipe/seq-speedup")
 }
 
+// BenchmarkChurnSteadyState times the membership-aware cluster runtime
+// end to end: a lockstep coded gossip run through a full churn
+// schedule — crash, two joins, a graceful leave, a persisted restart —
+// under 20% loss, with every live node decode-verified. It is the
+// allocation gate for the dynamic-membership layer: views, hello
+// traffic and the churn drivers must not reintroduce steady-state
+// allocations into the emission pipeline.
+func BenchmarkChurnSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	const n, k, d, loss = 16, 16, 64, 0.2
+	sched, err := cluster.ParseChurn("crash:8:1,join:10:2,leave:16:1,restart:22:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxN := n + sched.Joins()
+	ctx := context.Background()
+	var ticks, live int
+	for i := 0; i < b.N; i++ {
+		tr := cluster.WithLoss(cluster.NewChanTransport(maxN, cluster.InboxBuffer(maxN, 3)), loss, int64(i)+77)
+		res, err := cluster.Run(ctx, cluster.Config{
+			N: n, Fanout: 2, Seed: int64(i), Transport: tr, Lockstep: true,
+			MaxTicks: 200000, Churn: sched,
+		}, token.RandomSet(k, d, rand.New(rand.NewSource(int64(i)))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("churn gossip incomplete")
+		}
+		ticks = res.Ticks
+		live = res.FinalLive
+	}
+	b.ReportMetric(float64(ticks), "ticks")
+	b.ReportMetric(float64(live), "live-nodes")
+}
+
 // BenchmarkStreamSustained times the pipelined streaming runtime end to
 // end (lockstep, lossless) and reports the three sustained-throughput
 // figures the streaming layer is accountable for: wall-clock tokens

@@ -6,11 +6,11 @@
 // Two modes:
 //
 //	go test -run xxx -bench . -benchtime 1x -benchmem ./... |
-//	    benchguard -write -out BENCH_PR4.json
+//	    benchguard -write -out BENCH_PR5.json
 //	        # regenerate the committed baseline from a bench run
 //
 //	go test -run xxx -bench . -benchtime 1x -benchmem ./... |
-//	    benchguard -baseline BENCH_PR4.json -max-regress 0.20 \
+//	    benchguard -baseline BENCH_PR5.json -max-regress 0.20 \
 //	        -guard BenchmarkEngineRound,BenchmarkWireRoundTrip,...
 //	        # CI gate: exit 1 on a >20% allocs/op regression
 //
@@ -76,11 +76,11 @@ func parse(r *bufio.Scanner) (map[string]Entry, error) {
 
 func main() {
 	write := flag.Bool("write", false, "emit a baseline JSON from the bench output instead of comparing")
-	out := flag.String("out", "BENCH_PR4.json", "baseline file to write in -write mode")
+	out := flag.String("out", "BENCH_PR5.json", "baseline file to write in -write mode")
 	note := flag.String("note", "go test -run xxx -bench . -benchtime 1x -benchmem ./... (see scripts/bench.sh)", "provenance note stored in the baseline")
-	baselinePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline to compare against")
+	baselinePath := flag.String("baseline", "BENCH_PR5.json", "committed baseline to compare against")
 	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional allocs/op growth before failing")
-	guard := flag.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState",
+	guard := flag.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState,BenchmarkChurnSteadyState",
 		"comma-separated benchmarks the gate enforces")
 	flag.Parse()
 

@@ -3,8 +3,8 @@
 // in-process transport) and reports completion-time and overhead
 // tables. It is the interactive surface of internal/cluster, the
 // asynchronous counterpart of the synchronous dynnet simulator; see
-// DESIGN.md ("Async cluster runtime") for the architecture and wire
-// format.
+// DESIGN.md ("Async cluster runtime", "Dynamic membership & churn")
+// for the architecture and wire format.
 //
 // Quick start:
 //
@@ -12,17 +12,25 @@
 //	go run ./cmd/cluster -mode forward -loss 0.2        # store-and-forward baseline
 //	go run ./cmd/cluster -transport lockstep -seed 7    # deterministic, tick-counted
 //	go run ./cmd/cluster -n 32 -delay 2ms -reorder 0.3  # hostile-network middlewares
+//	go run ./cmd/cluster -transport lockstep -churn "crash:20:1,join:30:1"
+//	                                                    # dynamic membership
 //
 // Transports: "chan" (default) runs the concurrent runtime on buffered
 // channels with wall-clock metrics; "lockstep" runs the deterministic
 // single-threaded driver, whose runs are a pure function of -seed and
 // report ticks instead of milliseconds.
+//
+// Churn: -churn takes a comma-separated kind:tick:count schedule
+// (join, leave, crash, restart, rejoin); ticks map to At×-interval
+// wall offsets under the async transport. Completion then means every
+// node live at the end holds all k tokens.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -50,17 +58,22 @@ func main() {
 		reorder  = flag.Float64("reorder", 0, "packet reordering rate in [0,1)")
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
+		churn    = flag.String("churn", "", `membership schedule, e.g. "join:500:2,crash:1000:1" (kinds: join|leave|crash|restart|rejoin)`)
 	)
 	flag.Parse()
-	if err := run(*n, *k, *payload, *loss, *fanout, *mode, *tp, *seed, *interval, *timeout, *delay, *reorder, *buffer, *maxTicks); err != nil {
+	if err := run(os.Stdout, *n, *k, *payload, *loss, *fanout, *mode, *tp, *seed,
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int) error {
+func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec string) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateBuffer(buffer); err != nil {
 		return err
 	}
 	var mode cluster.Mode
@@ -76,10 +89,15 @@ func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed 
 	if err != nil {
 		return err
 	}
-	if buffer == 0 {
-		buffer = 4 * n * fanout
+	sched, err := cliutil.ParseChurnFlag(churnSpec)
+	if err != nil {
+		return err
 	}
-	tr, err := cliutil.BuildTransport(n, buffer, lockstep, delay, reorder, loss, seed)
+	maxN := n + sched.Joins()
+	if buffer == 0 {
+		buffer = 4 * maxN * (fanout + 1)
+	}
+	tr, err := cliutil.BuildTransport(maxN, buffer, lockstep, delay, reorder, loss, seed)
 	if err != nil {
 		return err
 	}
@@ -90,6 +108,7 @@ func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed 
 	res, err := cluster.Run(ctx, cluster.Config{
 		N: n, Fanout: fanout, Mode: mode, Seed: seed, Transport: tr,
 		Interval: interval, Timeout: timeout, Lockstep: lockstep, MaxTicks: maxTicks,
+		Churn: sched,
 	}, toks)
 	if err != nil {
 		return err
@@ -116,13 +135,35 @@ func run(n, k, payload int, loss float64, fanout int, modeName, tp string, seed 
 	t.AddRow("packets received", sim.I(int(res.PacketsIn)))
 	t.AddRow("packets dropped", sim.I(int(res.Dropped)))
 	t.AddRow("protocol bits sent", sim.I(int(res.BitsOut)))
-	t.AddRow("packets per node-token", sim.F(float64(res.PacketsOut)/float64(n*k)))
-	if res.Completed {
-		t.AddNote("all %d nodes reached rank %d; decoded tokens verified against the originals", n, k)
-	} else {
-		t.AddNote("run did NOT complete (timeout/tick cap); metrics cover the partial run")
+	if sched != nil {
+		spawned, hellos := 0, int64(0)
+		for _, m := range res.Nodes {
+			if m.Spawned {
+				spawned++
+			}
+			hellos += m.HellosOut
+		}
+		t.AddRow("churn schedule", sched.String())
+		t.AddRow("nodes spawned / live at end", fmt.Sprintf("%d / %d", spawned, res.FinalLive))
+		t.AddRow("hellos sent", sim.I(int(hellos)))
 	}
-	fmt.Print(t.String())
+	// Dissemination work per node-token, over the nodes that finished:
+	// a timed-out run must not pretend all n nodes were served.
+	done := 0
+	for _, m := range res.Nodes {
+		if m.Done {
+			done++
+		}
+	}
+	if done > 0 {
+		t.AddRow("packets per done-node-token", sim.F(float64(res.PacketsOut)/float64(done*k)))
+	}
+	if res.Completed {
+		t.AddNote("all %d live nodes reached rank %d; decoded tokens verified against the originals", res.FinalLive, k)
+	} else {
+		t.AddNote("run did NOT complete (timeout/tick cap); counters cover the partial run, per-node summaries cover only nodes that finished")
+	}
+	fmt.Fprint(w, t.String())
 	if !res.Completed {
 		return fmt.Errorf("dissemination incomplete")
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -16,15 +17,19 @@ type runArgs struct {
 	seed            int64
 	reorder         float64
 	buffer, maxTick int
+	churn           string
 }
 
 func defaults() runArgs {
 	return runArgs{n: 8, k: 4, payload: 32, fanout: 2, mode: "coded", tp: "lockstep", seed: 1}
 }
 
-func (a runArgs) run() error {
-	return run(a.n, a.k, a.payload, a.loss, a.fanout, a.mode, a.tp, a.seed,
-		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick)
+func (a runArgs) run(w io.Writer) error {
+	if w == nil {
+		w = io.Discard
+	}
+	return run(w, a.n, a.k, a.payload, a.loss, a.fanout, a.mode, a.tp, a.seed,
+		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick, a.churn)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -38,18 +43,24 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"k zero", func(a *runArgs) { a.k = 0 }, "-k"},
 		{"payload zero", func(a *runArgs) { a.payload = 0 }, "-payload"},
 		{"fanout zero", func(a *runArgs) { a.fanout = 0 }, "-fanout"},
+		{"fanout at n", func(a *runArgs) { a.fanout = 8 }, "-fanout"},
+		{"fanout above n", func(a *runArgs) { a.fanout = 100 }, "-fanout"},
+		{"buffer negative", func(a *runArgs) { a.buffer = -2 }, "-buffer"},
 		{"loss negative", func(a *runArgs) { a.loss = -0.1 }, "-loss"},
 		{"loss one", func(a *runArgs) { a.loss = 1.0 }, "-loss"},
 		{"reorder negative", func(a *runArgs) { a.reorder = -0.5 }, "-reorder"},
 		{"reorder one", func(a *runArgs) { a.reorder = 1.5 }, "-reorder"},
 		{"unknown mode", func(a *runArgs) { a.mode = "telepathy" }, "mode"},
 		{"unknown transport", func(a *runArgs) { a.tp = "carrier-pigeon" }, "transport"},
+		{"bad churn kind", func(a *runArgs) { a.churn = "meteor:10:1" }, "-churn"},
+		{"bad churn shape", func(a *runArgs) { a.churn = "join:10" }, "-churn"},
+		{"bad churn tick", func(a *runArgs) { a.churn = "join:0:1" }, "-churn"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			a := defaults()
 			tc.mut(&a)
-			err := a.run()
+			err := a.run(nil)
 			if err == nil {
 				t.Fatalf("bad flags accepted: %+v", a)
 			}
@@ -61,7 +72,49 @@ func TestRunRejectsBadFlags(t *testing.T) {
 }
 
 func TestRunLockstepSmallCompletes(t *testing.T) {
-	if err := defaults().run(); err != nil {
+	if err := defaults().run(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLockstepChurnCompletes(t *testing.T) {
+	a := defaults()
+	a.churn = "crash:5:1,join:8:1"
+	a.loss = 0.1
+	var out strings.Builder
+	if err := a.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"churn schedule", "nodes spawned / live at end", "hellos sent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("churn run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunIncompleteOutputIsSane pins the timed-out-run reporting: a
+// run that hits the tick cap must say Completed false, return the
+// "incomplete" error, and print no vacuous aggregates (no NaN/Inf from
+// empty-slice summary math).
+func TestRunIncompleteOutputIsSane(t *testing.T) {
+	a := defaults()
+	a.loss = 0.98
+	a.maxTick = 5
+	var out strings.Builder
+	err := a.run(&out)
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("capped run returned %v, want incomplete error", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completed") || !strings.Contains(s, "false") {
+		t.Errorf("output does not report completed=false:\n%s", s)
+	}
+	for _, bad := range []string{"NaN", "Inf", "+Inf", "-Inf"} {
+		if strings.Contains(s, bad) {
+			t.Errorf("vacuous aggregate %q in incomplete-run output:\n%s", bad, s)
+		}
+	}
+	if !strings.Contains(s, "did NOT complete") {
+		t.Errorf("output does not flag the partial run:\n%s", s)
 	}
 }

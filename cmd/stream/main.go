@@ -3,8 +3,8 @@
 // n-node gossip cluster and reports sustained-throughput and memory
 // tables. It is the interactive surface of internal/stream, the
 // pipelined counterpart of the one-shot cmd/cluster; see DESIGN.md
-// ("Streaming layer") for the architecture, generation/window lifecycle
-// and ack wire format.
+// ("Streaming layer", "Dynamic membership & churn") for the
+// architecture, generation/window lifecycle and ack wire format.
 //
 // Quick start:
 //
@@ -12,17 +12,25 @@
 //	go run ./cmd/stream -window 1                               # sequential baseline (no pipelining)
 //	go run ./cmd/stream -transport lockstep -seed 7             # deterministic, tick-counted
 //	go run ./cmd/stream -n 16 -delay 2ms -reorder 0.3           # hostile-network middlewares
+//	go run ./cmd/stream -transport lockstep -loss 0.2 -churn "crash:30:1,join:60:1"
+//	                                                            # churn: mid-stream joiner catch-up
 //
 // Transports: "chan" (default) runs the concurrent runtime on buffered
 // channels with wall-clock metrics; "lockstep" runs the deterministic
 // single-threaded driver, whose runs are a pure function of -seed and
 // report ticks instead of milliseconds.
+//
+// Churn: -churn takes a comma-separated kind:tick:count schedule
+// (join, leave, crash, restart, rejoin). A mid-stream joiner learns
+// the retirement frontier from watermark gossip and delivers from
+// there; the table reports its time-to-catch-up.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -49,10 +57,11 @@ func main() {
 		reorder  = flag.Float64("reorder", 0, "packet reordering rate in [0,1)")
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
+		churn    = flag.String("churn", "", `membership schedule, e.g. "crash:30:1,join:60:1" (kinds: join|leave|crash|restart|rejoin)`)
 	)
 	flag.Parse()
-	if err := run(*n, *k, *payload, *window, *gens, *loss, *fanout, *tp, *seed,
-		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks); err != nil {
+	if err := run(os.Stdout, *n, *k, *payload, *window, *gens, *loss, *fanout, *tp, *seed,
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "stream:", err)
 		os.Exit(1)
 	}
@@ -60,8 +69,11 @@ func main() {
 
 // validate applies the shared gossip checks plus the stream-only
 // window/generations flags.
-func validate(n, k, payload, window, gens, fanout int, loss, reorder float64) error {
+func validate(n, k, payload, window, gens, fanout, buffer int, loss, reorder float64) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateBuffer(buffer); err != nil {
 		return err
 	}
 	switch {
@@ -73,19 +85,24 @@ func validate(n, k, payload, window, gens, fanout int, loss, reorder float64) er
 	return nil
 }
 
-func run(n, k, payload, window, gens int, loss float64, fanout int, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int) error {
-	if err := validate(n, k, payload, window, gens, fanout, loss, reorder); err != nil {
+func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int, tp string, seed int64,
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec string) error {
+	if err := validate(n, k, payload, window, gens, fanout, buffer, loss, reorder); err != nil {
 		return err
 	}
 	lockstep, err := cliutil.ParseTransport(tp)
 	if err != nil {
 		return err
 	}
-	if buffer == 0 {
-		buffer = 4 * stream.InboxBuffer(n, fanout)
+	sched, err := cliutil.ParseChurnFlag(churnSpec)
+	if err != nil {
+		return err
 	}
-	tr, err := cliutil.BuildTransport(n, buffer, lockstep, delay, reorder, loss, seed)
+	maxN := n + sched.Joins()
+	if buffer == 0 {
+		buffer = 4 * stream.InboxBuffer(maxN, fanout+1)
+	}
+	tr, err := cliutil.BuildTransport(maxN, buffer, lockstep, delay, reorder, loss, seed)
 	if err != nil {
 		return err
 	}
@@ -95,13 +112,29 @@ func run(n, k, payload, window, gens int, loss float64, fanout int, tp string, s
 	res, err := stream.Run(ctx, stream.Config{
 		N: n, K: k, PayloadBits: payload, Window: window, Generations: gens, Fanout: fanout,
 		Seed: seed, Transport: tr, Lockstep: lockstep, MaxTicks: maxTicks,
-		Interval: interval, Timeout: timeout,
+		Interval: interval, Timeout: timeout, Churn: sched,
 	})
 	if err != nil {
 		return err
 	}
 
-	tokens := float64(k * gens)
+	// All throughput figures are computed from the tokens actually
+	// delivered by the nodes still live, not the configured stream
+	// length: a timed-out run must not report a sustained rate it never
+	// sustained, and a churned-out node's deliveries must not inflate
+	// the per-node mean (with churn, joiners also legitimately deliver
+	// less than the full stream).
+	liveNodes := res.FinalLive
+	if liveNodes == 0 {
+		liveNodes = 1
+	}
+	var liveTokens int64
+	for _, m := range res.Nodes {
+		if m.Live {
+			liveTokens += int64(m.Delivered) * int64(k)
+		}
+	}
+	deliveredPerNode := float64(liveTokens) / float64(liveNodes)
 	t := &sim.Table{
 		Caption: fmt.Sprintf("stream: n=%d k=%d payload=%d bits, window=%d, %d generations, loss=%.2f transport=%s seed=%d",
 			n, k, payload, window, gens, loss, tp, seed),
@@ -110,16 +143,16 @@ func run(n, k, payload, window, gens int, loss float64, fanout int, tp string, s
 	t.AddRow("completed", fmt.Sprintf("%v", res.Completed))
 	if lockstep {
 		t.AddRow("ticks", sim.I(res.Ticks))
-		if res.Ticks > 0 {
-			t.AddRow("sustained tokens/tick", sim.F(tokens/float64(res.Ticks)))
+		if res.Ticks > 0 && deliveredPerNode > 0 {
+			t.AddRow("sustained tokens/tick", sim.F(deliveredPerNode/float64(res.Ticks)))
 		}
 		if s := sim.Summarize(res.DoneTicks()); s.N > 0 {
 			t.AddRow("ticks-to-stream-end min/mean/max", fmt.Sprintf("%s / %s / %s", sim.F(s.Min), sim.F(s.Mean), sim.F(s.Max)))
 		}
 	} else {
 		t.AddRow("elapsed", res.Elapsed.Round(time.Millisecond).String())
-		if secs := res.Elapsed.Seconds(); secs > 0 {
-			t.AddRow("sustained tokens/sec", sim.F(tokens/secs))
+		if secs := res.Elapsed.Seconds(); secs > 0 && deliveredPerNode > 0 {
+			t.AddRow("sustained tokens/sec", sim.F(deliveredPerNode/secs))
 		}
 		if s := sim.Summarize(res.DoneTimes()); s.N > 0 {
 			t.AddRow("time-to-stream-end min/mean/max", fmt.Sprintf("%.1fms / %.1fms / %.1fms", 1e3*s.Min, 1e3*s.Mean, 1e3*s.Max))
@@ -130,16 +163,32 @@ func run(n, k, payload, window, gens int, loss float64, fanout int, tp string, s
 	t.AddRow("acks sent", sim.I(int(res.AcksOut)))
 	t.AddRow("packets dropped", sim.I(int(res.Dropped)))
 	t.AddRow("protocol bits sent", sim.I(int(res.BitsOut)))
-	if tokens > 0 {
-		t.AddRow("bits per stream token", sim.F(float64(res.BitsOut)/tokens))
+	if deliveredPerNode > 0 {
+		t.AddRow("bits per delivered token", sim.F(float64(res.BitsOut)/deliveredPerNode))
 	}
 	t.AddRow("peak span memory per node", fmt.Sprintf("%d B", res.MaxSpanBytes))
-	if res.Completed {
-		t.AddNote("all %d nodes decoded and delivered %d generations in order; deliveries verified against the source", n, gens)
-	} else {
-		t.AddNote("run did NOT complete (timeout/tick cap); metrics cover the partial run")
+	if sched != nil {
+		t.AddRow("churn schedule", sched.String())
+		t.AddRow("nodes live at end", sim.I(res.FinalLive))
+		for id, m := range res.Nodes {
+			if !m.Spawned || m.StartGen == 0 {
+				continue
+			}
+			if lockstep && m.CaughtUpTick > 0 {
+				t.AddRow(fmt.Sprintf("node %d joined@%d, start gen %d", id, m.JoinTick, m.StartGen),
+					fmt.Sprintf("caught up in %d ticks", m.CaughtUpTick-m.JoinTick))
+			} else if !lockstep && m.CaughtUpAt > 0 {
+				t.AddRow(fmt.Sprintf("node %d joined@%v, start gen %d", id, m.JoinAt.Round(time.Millisecond), m.StartGen),
+					fmt.Sprintf("caught up in %v", (m.CaughtUpAt-m.JoinAt).Round(time.Millisecond)))
+			}
+		}
 	}
-	fmt.Print(t.String())
+	if res.Completed {
+		t.AddNote("all %d live nodes decoded and delivered the stream in order; deliveries verified against the source", res.FinalLive)
+	} else {
+		t.AddNote("run did NOT complete (timeout/tick cap); counters cover the partial run, throughput covers only delivered tokens")
+	}
+	fmt.Fprint(w, t.String())
 	if !res.Completed {
 		return fmt.Errorf("stream incomplete")
 	}

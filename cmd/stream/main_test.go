@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -16,15 +17,19 @@ type runArgs struct {
 	seed                        int64
 	reorder                     float64
 	buffer, maxTick             int
+	churn                       string
 }
 
 func defaults() runArgs {
 	return runArgs{n: 8, k: 4, payload: 32, window: 2, gens: 3, fanout: 2, tp: "lockstep", seed: 1}
 }
 
-func (a runArgs) run() error {
-	return run(a.n, a.k, a.payload, a.window, a.gens, a.loss, a.fanout, a.tp, a.seed,
-		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick)
+func (a runArgs) run(w io.Writer) error {
+	if w == nil {
+		w = io.Discard
+	}
+	return run(w, a.n, a.k, a.payload, a.window, a.gens, a.loss, a.fanout, a.tp, a.seed,
+		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick, a.churn)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -40,17 +45,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"window zero", func(a *runArgs) { a.window = 0 }, "-window"},
 		{"generations zero", func(a *runArgs) { a.gens = 0 }, "-generations"},
 		{"fanout zero", func(a *runArgs) { a.fanout = 0 }, "-fanout"},
+		{"fanout at n", func(a *runArgs) { a.fanout = 8 }, "-fanout"},
+		{"buffer negative", func(a *runArgs) { a.buffer = -1 }, "-buffer"},
 		{"loss negative", func(a *runArgs) { a.loss = -0.1 }, "-loss"},
 		{"loss one", func(a *runArgs) { a.loss = 1.0 }, "-loss"},
 		{"reorder negative", func(a *runArgs) { a.reorder = -0.5 }, "-reorder"},
 		{"reorder one", func(a *runArgs) { a.reorder = 1.5 }, "-reorder"},
 		{"unknown transport", func(a *runArgs) { a.tp = "carrier-pigeon" }, "transport"},
+		{"bad churn kind", func(a *runArgs) { a.churn = "meteor:10:1" }, "-churn"},
+		{"bad churn count", func(a *runArgs) { a.churn = "join:10:0" }, "-churn"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			a := defaults()
 			tc.mut(&a)
-			err := a.run()
+			err := a.run(nil)
 			if err == nil {
 				t.Fatalf("bad flags accepted: %+v", a)
 			}
@@ -62,7 +71,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 }
 
 func TestRunLockstepSmallCompletes(t *testing.T) {
-	if err := defaults().run(); err != nil {
+	if err := defaults().run(nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,7 +80,57 @@ func TestRunSequentialWindowCompletes(t *testing.T) {
 	a := defaults()
 	a.window = 1
 	a.loss = 0.2
-	if err := a.run(); err != nil {
+	if err := a.run(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunChurnJoinerReported(t *testing.T) {
+	a := defaults()
+	a.gens = 8
+	a.churn = "join:15:1"
+	var out strings.Builder
+	if err := a.run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"churn schedule", "nodes live at end"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("churn run output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "caught up in") {
+		t.Errorf("mid-stream joiner catch-up not reported:\n%s", s)
+	}
+}
+
+// TestRunIncompleteOutputIsSane pins the timed-out-run reporting: a
+// run that hits the tick cap must say Completed false, return the
+// "incomplete" error, and print no vacuous throughput (the sustained
+// figures must come from tokens actually delivered — zero here — not
+// from the configured stream length).
+func TestRunIncompleteOutputIsSane(t *testing.T) {
+	a := defaults()
+	a.loss = 0.98
+	a.maxTick = 4
+	var out strings.Builder
+	err := a.run(&out)
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("capped run returned %v, want incomplete error", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completed") || !strings.Contains(s, "false") {
+		t.Errorf("output does not report completed=false:\n%s", s)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(s, bad) {
+			t.Errorf("vacuous aggregate %q in incomplete-run output:\n%s", bad, s)
+		}
+	}
+	if strings.Contains(s, "sustained tokens/tick") {
+		t.Errorf("sustained throughput reported for a run that delivered nothing:\n%s", s)
+	}
+	if !strings.Contains(s, "did NOT complete") {
+		t.Errorf("output does not flag the partial run:\n%s", s)
 	}
 }

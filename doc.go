@@ -24,10 +24,21 @@
 //	go run ./cmd/cluster -transport lockstep -seed 7
 //	go run ./cmd/stream -n 32 -k 16 -generations 16 -loss 0.2
 //	go run ./cmd/stream -window 1 -transport lockstep    # sequential baseline
+//	go run ./cmd/stream -transport lockstep -loss 0.2 -churn "crash:30:1,join:60:1"
 //
 // and see experiments E11 (DESIGN.md "Async cluster runtime") for
 // coded vs store-and-forward gossip under loss and E12 (DESIGN.md
 // "Streaming layer") for what window pipelining buys.
+//
+// Both gossip runtimes handle dynamic membership: a -churn schedule
+// (kind:tick:count grammar — join, leave, crash, restart, rejoin)
+// scripts nodes crashing, joining and restarting mid-run. Membership
+// views spread via wire.TypeHello announcements, emission samples the
+// current view, the stream's retirement frontier drops silent nodes
+// instead of deadlocking, and a mid-stream joiner catches up from the
+// watermark frontier it learns from gossip. Lockstep churn runs stay
+// a pure function of the seed; experiment E13 (DESIGN.md "Dynamic
+// membership & churn") measures coding's edge under churn × loss.
 //
 // The emission→wire→insert hot path is allocation-free in steady
 // state: gf.BitMatrix keeps its echelon rows in one contiguous slab,
@@ -40,7 +51,7 @@
 // ownership rules and the before/after allocation table.
 //
 // The benchmark suite in bench_test.go regenerates every experiment
-// with b.ReportAllocs throughout; BENCH_PR4.json is the committed
+// with b.ReportAllocs throughout; BENCH_PR5.json is the committed
 // allocation baseline that CI's cmd/benchguard gate enforces (see
 // scripts/bench.sh). See DESIGN.md for the experiment index and
 // implementation notes, and CHANGES.md for the per-change measurement

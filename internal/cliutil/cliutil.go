@@ -23,12 +23,38 @@ func ValidateGossip(n, k, payload, fanout int, loss, reorder float64) error {
 		return fmt.Errorf("-payload must be at least 1 bit, got %d", payload)
 	case fanout < 1:
 		return fmt.Errorf("-fanout must be at least 1, got %d", fanout)
+	case fanout >= n:
+		// Emissions sample peers with replacement; a fanout at or above
+		// n silently oversamples the same peers instead of reaching more
+		// of them, which every experiment table would misread as extra
+		// reach.
+		return fmt.Errorf("-fanout must be below -n (only %d other peers exist), got %d", n-1, fanout)
 	case loss < 0 || loss >= 1:
 		return fmt.Errorf("-loss must be in [0,1), got %g", loss)
 	case reorder < 0 || reorder >= 1:
 		return fmt.Errorf("-reorder must be in [0,1), got %g", reorder)
 	}
 	return nil
+}
+
+// ValidateBuffer rejects negative explicit inbox buffers (0 means
+// auto-size).
+func ValidateBuffer(buffer int) error {
+	if buffer < 0 {
+		return fmt.Errorf("-buffer must be non-negative (0 = auto), got %d", buffer)
+	}
+	return nil
+}
+
+// ParseChurnFlag parses the -churn flag through the shared
+// cluster.ParseChurn grammar, naming the flag in errors. An empty
+// string means no churn (nil schedule).
+func ParseChurnFlag(s string) (*cluster.ChurnSchedule, error) {
+	sched, err := cluster.ParseChurn(s)
+	if err != nil {
+		return nil, fmt.Errorf("-churn: %w", err)
+	}
+	return sched, nil
 }
 
 // ParseTransport maps the -transport flag to the lockstep switch.

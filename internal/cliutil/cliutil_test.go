@@ -20,6 +20,8 @@ func TestValidateGossip(t *testing.T) {
 		{"k", 8, 0, 32, 2, 0, 0, "-k"},
 		{"payload", 8, 4, 0, 2, 0, 0, "-payload"},
 		{"fanout", 8, 4, 32, 0, 0, 0, "-fanout"},
+		{"fanout equals n", 8, 4, 32, 8, 0, 0, "-fanout"},
+		{"fanout above n", 4, 4, 32, 9, 0, 0, "-fanout"},
 		{"loss low", 8, 4, 32, 2, -0.1, 0, "-loss"},
 		{"loss high", 8, 4, 32, 2, 1, 0, "-loss"},
 		{"reorder low", 8, 4, 32, 2, 0, -1, "-reorder"},
@@ -42,6 +44,38 @@ func TestParseTransport(t *testing.T) {
 	}
 	if _, err := ParseTransport("smoke-signals"); err == nil {
 		t.Error("unknown transport accepted")
+	}
+}
+
+func TestValidateGossipFanoutBoundary(t *testing.T) {
+	// fanout = n-1 is the largest sensible value and must pass.
+	if err := ValidateGossip(8, 4, 32, 7, 0, 0); err != nil {
+		t.Errorf("fanout n-1 rejected: %v", err)
+	}
+}
+
+func TestValidateBuffer(t *testing.T) {
+	if err := ValidateBuffer(0); err != nil {
+		t.Errorf("auto buffer rejected: %v", err)
+	}
+	if err := ValidateBuffer(64); err != nil {
+		t.Errorf("explicit buffer rejected: %v", err)
+	}
+	if err := ValidateBuffer(-1); err == nil || !strings.Contains(err.Error(), "-buffer") {
+		t.Errorf("negative buffer: err %v does not name -buffer", err)
+	}
+}
+
+func TestParseChurnFlag(t *testing.T) {
+	sched, err := ParseChurnFlag("join:10:1,crash:20:1")
+	if err != nil || sched == nil || len(sched.Events) != 2 {
+		t.Fatalf("valid churn flag -> %+v, %v", sched, err)
+	}
+	if sched, err := ParseChurnFlag(""); sched != nil || err != nil {
+		t.Errorf("empty churn flag -> %v, %v; want nil, nil", sched, err)
+	}
+	if _, err := ParseChurnFlag("meteor:10:1"); err == nil || !strings.Contains(err.Error(), "-churn") {
+		t.Errorf("bad churn flag: err %v does not name -churn", err)
 	}
 }
 

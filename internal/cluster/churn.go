@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ChurnKind is one membership event type in a ChurnSchedule.
+type ChurnKind int
+
+const (
+	// ChurnJoin adds a brand-new node (fresh id, empty state) to the
+	// cluster. Joiners bootstrap from a contact list of the nodes live
+	// at join time and announce themselves with a wire.TypeHello.
+	ChurnJoin ChurnKind = iota
+	// ChurnLeave removes a live node gracefully: it broadcasts a leave
+	// announcement to its view before going silent.
+	ChurnLeave
+	// ChurnCrash removes a live node abruptly: no announcement, peers
+	// only ever find out by its silence.
+	ChurnCrash
+	// ChurnRestart revives a crashed node with its span/token state
+	// persisted (a crash-restart that kept its disk).
+	ChurnRestart
+	// ChurnRejoin revives a crashed node with wiped state (a restart
+	// that lost its disk): same id, but it bootstraps like a joiner.
+	ChurnRejoin
+)
+
+// String returns the kind's schedule-grammar name.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	case ChurnCrash:
+		return "crash"
+	case ChurnRestart:
+		return "restart"
+	case ChurnRejoin:
+		return "rejoin"
+	}
+	return fmt.Sprintf("ChurnKind(%d)", int(k))
+}
+
+// ChurnEvent schedules Count membership events of one kind at one
+// instant. At is a lockstep tick; the async drivers convert it to a
+// wall-clock offset of At × Config.Interval after the run starts, so
+// one schedule reads the same against both drivers.
+type ChurnEvent struct {
+	Kind  ChurnKind
+	At    int
+	Count int
+}
+
+// ChurnSchedule is a deterministic membership script for a run: which
+// kinds of events fire when, with victims drawn from the run's seeded
+// randomness (so lockstep churn runs stay a pure function of the
+// seed). The zero schedule (or a nil *ChurnSchedule in Config) means
+// fixed, always-alive membership.
+type ChurnSchedule struct {
+	// Events, sorted by At (Parse sorts; hand-built schedules must be
+	// pre-sorted, validated by Validate).
+	Events []ChurnEvent
+}
+
+// ParseChurn parses the CLI churn grammar: a comma-separated list of
+// kind:tick:count triples, e.g. "join:500:2,crash:1000:1". Kinds are
+// join, leave, crash, restart (crashed node revives with persisted
+// state) and rejoin (revives with wiped state). Events are sorted by
+// tick; same-tick events apply in the listed order.
+func ParseChurn(s string) (*ChurnSchedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	sched := &ChurnSchedule{}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("churn event %q: want kind:tick:count", part)
+		}
+		var kind ChurnKind
+		switch fields[0] {
+		case "join":
+			kind = ChurnJoin
+		case "leave":
+			kind = ChurnLeave
+		case "crash":
+			kind = ChurnCrash
+		case "restart":
+			kind = ChurnRestart
+		case "rejoin":
+			kind = ChurnRejoin
+		default:
+			return nil, fmt.Errorf("churn event %q: unknown kind %q (want join|leave|crash|restart|rejoin)", part, fields[0])
+		}
+		at, err := strconv.Atoi(fields[1])
+		if err != nil || at < 1 {
+			return nil, fmt.Errorf("churn event %q: tick must be a positive integer", part)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("churn event %q: count must be a positive integer", part)
+		}
+		sched.Events = append(sched.Events, ChurnEvent{Kind: kind, At: at, Count: count})
+	}
+	sort.SliceStable(sched.Events, func(i, j int) bool { return sched.Events[i].At < sched.Events[j].At })
+	return sched, nil
+}
+
+// String renders the schedule back in the ParseChurn grammar.
+func (s *ChurnSchedule) String() string {
+	if s == nil || len(s.Events) == 0 {
+		return ""
+	}
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = fmt.Sprintf("%s:%d:%d", e.Kind, e.At, e.Count)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Joins is the number of fresh node ids the schedule can create — the
+// amount by which a run's node id space (and transport sizing) must
+// exceed Config.N.
+func (s *ChurnSchedule) Joins() int {
+	if s == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range s.Events {
+		if e.Kind == ChurnJoin {
+			total += e.Count
+		}
+	}
+	return total
+}
+
+// Validate rejects schedules the drivers cannot run.
+func (s *ChurnSchedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	lastAt := 0
+	for i, e := range s.Events {
+		switch e.Kind {
+		case ChurnJoin, ChurnLeave, ChurnCrash, ChurnRestart, ChurnRejoin:
+		default:
+			return fmt.Errorf("churn event %d: unknown kind %d", i, int(e.Kind))
+		}
+		if e.At < 1 {
+			return fmt.Errorf("churn event %d: tick %d must be positive", i, e.At)
+		}
+		if e.At < lastAt {
+			return fmt.Errorf("churn event %d: events not sorted by tick (%d after %d)", i, e.At, lastAt)
+		}
+		if e.Count < 1 {
+			return fmt.Errorf("churn event %d: count %d must be positive", i, e.Count)
+		}
+		lastAt = e.At
+	}
+	return nil
+}
+
+// View is one node's membership view: the set of peers it believes
+// live, with a last-heard stamp per peer for optional silence-based
+// suspicion. Each View is owned by exactly one node (the goroutine or
+// lockstep slot driving it), like the node's BufRing.
+//
+// Stamps are in driver units — ticks under the lockstep drivers,
+// nanoseconds since run start under the async ones — and suspicion
+// compares them against SuspectAfter in the same units. SuspectAfter
+// zero disables suspicion entirely (the cluster runtime's default: a
+// crashed peer then simply keeps absorbing wasted sends as transport
+// drops; the stream runtime enables suspicion because its retirement
+// frontier would otherwise deadlock on a dead node's stale watermark).
+type View struct {
+	self  int
+	live  []bool
+	heard []int64
+	n     int
+	// SuspectAfter is the silence threshold beyond which a live peer
+	// stops being eligible for sampling and frontier membership. Zero
+	// means never suspect.
+	SuspectAfter int64
+}
+
+// NewView returns an empty view for a node in an id space of maxN.
+func NewView(self, maxN int) *View {
+	return &View{self: self, live: make([]bool, maxN), heard: make([]int64, maxN)}
+}
+
+// Fill marks ids 0..n-1 live with the given stamp — the initial
+// membership of a run, or a joiner's contact list prefix.
+func (v *View) Fill(n int, now int64) {
+	for id := 0; id < n && id < len(v.live); id++ {
+		v.Mark(id, now)
+	}
+}
+
+// Mark adds id to the view (if absent) and refreshes its last-heard
+// stamp. Marking the view's own node is allowed and keeps it live.
+func (v *View) Mark(id int, now int64) {
+	if id < 0 || id >= len(v.live) {
+		return
+	}
+	if !v.live[id] {
+		v.live[id] = true
+		v.n++
+	}
+	if now > v.heard[id] {
+		v.heard[id] = now
+	}
+}
+
+// Introduce adds id to the view with a fresh stamp only if it is
+// absent; a known peer's last-heard stamp is left untouched. This is
+// the merge rule for third-party peer lists (hello bodies): a hello is
+// first-hand evidence of its *sender* being alive, not of everyone the
+// sender still believes in — refreshing known peers' stamps from
+// relayed lists would let one chatty node keep a crashed peer
+// unsuspected forever, deadlocking the stream's retirement frontier.
+func (v *View) Introduce(id int, now int64) {
+	if id >= 0 && id < len(v.live) && !v.live[id] {
+		v.live[id] = true
+		v.n++
+		if now > v.heard[id] {
+			v.heard[id] = now
+		}
+	}
+}
+
+// Remove drops id from the view (a leave announcement, or local
+// bookkeeping by a driver).
+func (v *View) Remove(id int) {
+	if id >= 0 && id < len(v.live) && v.live[id] {
+		v.live[id] = false
+		v.n--
+	}
+}
+
+// Live reports whether id is in the view.
+func (v *View) Live(id int) bool { return id >= 0 && id < len(v.live) && v.live[id] }
+
+// LiveCount is the number of nodes in the view, including self.
+func (v *View) LiveCount() int { return v.n }
+
+// Eligible reports whether id is in the view and not suspected at the
+// given instant. The view's own node is always eligible.
+func (v *View) Eligible(id int, now int64) bool {
+	if !v.Live(id) {
+		return false
+	}
+	return id == v.self || v.SuspectAfter == 0 || now-v.heard[id] <= v.SuspectAfter
+}
+
+// Pick draws a uniformly random live peer other than self, or -1 when
+// there is none. With a full view of n nodes it draws exactly one
+// rng.Intn(n-1) and maps it exactly as the static runtimes' `peer :=
+// rng.Intn(n-1); if peer >= id { peer++ }` did, so churnless runs
+// reproduce their pre-membership transcripts bit for bit.
+//
+// Deliberately, suspicion does NOT filter sampling — only Remove
+// (leave announcements) does. Excluding suspected peers from sampling
+// is an absorbing death spiral: a node everyone suspects receives
+// nothing, so it sends nothing, so it stays suspected forever — and if
+// it meanwhile suspects everyone (its own clock jumped while it was
+// descheduled), the isolation is mutual and permanent. Sending to a
+// silent peer is exactly what revives it: any packet it receives makes
+// it answer, and its answer refreshes its stamp everywhere. A crashed
+// peer costs wasted sends (transport drops), which is the documented
+// price; suspicion exists only to keep dead nodes out of the stream's
+// retirement frontier.
+func (v *View) Pick(rng *rand.Rand, _ int64) int {
+	peers := v.n
+	if v.Live(v.self) {
+		peers--
+	}
+	if peers <= 0 {
+		return -1
+	}
+	r := rng.Intn(peers)
+	for id := range v.live {
+		if id != v.self && v.live[id] {
+			if r == 0 {
+				return id
+			}
+			r--
+		}
+	}
+	return -1 // unreachable
+}
+
+// AppendPeers appends the view's live ids (including self) to dst for
+// a hello body, reusing dst's capacity.
+func (v *View) AppendPeers(dst []uint32) []uint32 {
+	for id, l := range v.live {
+		if l {
+			dst = append(dst, uint32(id))
+		}
+	}
+	return dst
+}
+
+// ChurnOp is one concrete membership operation: an event kind bound
+// to the node id the churner selected for it.
+type ChurnOp struct {
+	Kind ChurnKind
+	ID   int
+}
+
+// Churner turns a ChurnSchedule into concrete operations, selecting
+// crash/leave victims and restart candidates from its own seeded rng
+// so that under the lockstep drivers the whole membership history is a
+// pure function of the run seed. One churner serves one run; both
+// drivers consume events in At order, so victim draws replay
+// identically for identical seeds.
+type Churner struct {
+	events  []ChurnEvent
+	next    int
+	rng     *rand.Rand
+	nextID  int   // next fresh id for joins
+	maxID   int   // id space bound
+	crashed []int // ids available for restart/rejoin, in crash order
+	ops     []ChurnOp
+}
+
+// churnSeed offsets the victim-selection stream away from the node rngs.
+const churnSeed = 7717
+
+func NewChurner(s *ChurnSchedule, n, maxN int, seed int64) *Churner {
+	if s == nil || len(s.Events) == 0 {
+		return nil
+	}
+	return &Churner{
+		events: s.Events,
+		rng:    rand.New(rand.NewSource(seed + churnSeed)),
+		nextID: n,
+		maxID:  maxN,
+	}
+}
+
+// NextAt returns the tick of the next unapplied event, if any.
+func (c *Churner) NextAt() (int, bool) {
+	if c == nil || c.next >= len(c.events) {
+		return 0, false
+	}
+	return c.events[c.next].At, true
+}
+
+// PendingAdds reports whether any membership-adding event (join,
+// restart, rejoin) has not yet been applied. A run cannot complete
+// while one is pending: the node it adds still has catching up to do.
+func (c *Churner) PendingAdds() bool {
+	if c == nil {
+		return false
+	}
+	for _, e := range c.events[c.next:] {
+		switch e.Kind {
+		case ChurnJoin, ChurnRestart, ChurnRejoin:
+			return true
+		}
+	}
+	return false
+}
+
+// PopUntil applies every event with At <= tick against the live set
+// and returns the concrete operations, reusing the internal scratch
+// slice. live is indexed by node id; the churner never selects a
+// victim that would empty the cluster.
+func (c *Churner) PopUntil(tick int, live []bool) []ChurnOp {
+	if c == nil {
+		return nil
+	}
+	c.ops = c.ops[:0]
+	for c.next < len(c.events) && c.events[c.next].At <= tick {
+		e := c.events[c.next]
+		c.next++
+		for i := 0; i < e.Count; i++ {
+			switch e.Kind {
+			case ChurnJoin:
+				if c.nextID >= c.maxID {
+					continue // id space exhausted (schedule bug); no-op
+				}
+				id := c.nextID
+				c.nextID++
+				c.ops = append(c.ops, ChurnOp{ChurnJoin, id})
+				live[id] = true
+			case ChurnLeave, ChurnCrash:
+				id := c.pickLive(live)
+				if id < 0 {
+					continue // refusing to kill the last node
+				}
+				c.ops = append(c.ops, ChurnOp{e.Kind, id})
+				live[id] = false
+				if e.Kind == ChurnCrash {
+					c.crashed = append(c.crashed, id)
+				}
+			case ChurnRestart, ChurnRejoin:
+				if len(c.crashed) == 0 {
+					continue // nothing to revive; no-op
+				}
+				r := c.rng.Intn(len(c.crashed))
+				id := c.crashed[r]
+				c.crashed = append(c.crashed[:r], c.crashed[r+1:]...)
+				c.ops = append(c.ops, ChurnOp{e.Kind, id})
+				live[id] = true
+			}
+		}
+	}
+	return c.ops
+}
+
+// pickLive draws a uniform victim among live nodes, or -1 when fewer
+// than two are live (a schedule may not empty the cluster).
+func (c *Churner) pickLive(live []bool) int {
+	count := 0
+	for _, l := range live {
+		if l {
+			count++
+		}
+	}
+	if count < 2 {
+		return -1
+	}
+	r := c.rng.Intn(count)
+	for id, l := range live {
+		if l {
+			if r == 0 {
+				return id
+			}
+			r--
+		}
+	}
+	return -1
+}

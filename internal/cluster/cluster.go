@@ -81,7 +81,19 @@ type Config struct {
 	Lockstep bool
 	// MaxTicks caps a lockstep run (default 20000).
 	MaxTicks int
+	// Churn optionally scripts dynamic membership: node joins, graceful
+	// leaves, crashes and restarts (see ChurnSchedule / ParseChurn). Nil
+	// means the fixed always-alive membership. Event ticks map to
+	// lockstep ticks directly and to At×Interval wall offsets in async
+	// mode. With churn, the node id space is N + Churn.Joins(); a
+	// caller-supplied Transport must be sized for it (the default
+	// transport is).
+	Churn *ChurnSchedule
 }
+
+// maxNodes is the run's node id space: the initial membership plus
+// every id the churn schedule can create.
+func (c Config) maxNodes() int { return c.N + c.Churn.Joins() }
 
 func (c Config) fanout() int {
 	if c.Fanout > 0 {
@@ -117,6 +129,9 @@ func (c Config) maxTicks() int {
 type NodeMetrics struct {
 	PacketsOut int64
 	PacketsIn  int64
+	// HellosOut counts membership announcements sent (their bits are
+	// included in BitsOut). Always zero without churn.
+	HellosOut int64
 	// BitsOut is protocol bits sent under the simulator's Bits()
 	// accounting (wire framing excluded), comparable with
 	// dynnet.Metrics.Bits.
@@ -129,19 +144,38 @@ type NodeMetrics struct {
 	Done       bool
 	DoneAt     time.Duration
 	DoneTick   int
+	// Spawned marks ids that actually entered the run: the initial
+	// members and every applied join. Metrics of unspawned ids stay
+	// zero.
+	Spawned bool
+	// Live is the node's membership at the end of the run; false for
+	// nodes that crashed or left (and for unspawned ids). Completion
+	// and verification cover live nodes only.
+	Live bool
+	// JoinTick / JoinAt stamp the node's latest (re)entry into the run:
+	// zero for initial members, the churn event's lockstep tick or
+	// async wall offset otherwise.
+	JoinTick int
+	JoinAt   time.Duration
 }
 
 // Result reports a finished run.
 type Result struct {
-	// Completed is true when every node reached full knowledge before
-	// the timeout / tick cap.
+	// Completed is true when every live node reached full knowledge
+	// (and every scheduled join/restart was applied) before the
+	// timeout / tick cap.
 	Completed bool
 	// Elapsed is the async wall clock (also set, informationally, for
 	// lockstep runs).
 	Elapsed time.Duration
 	// Ticks is the lockstep tick count at completion (0 for async).
 	Ticks int
+	// Nodes is indexed by node id over the whole id space
+	// (Config.N + Churn.Joins()); check Spawned/Live per entry.
 	Nodes []NodeMetrics
+
+	// FinalLive counts the nodes live at the end of the run.
+	FinalLive int
 
 	// Aggregates over Nodes.
 	PacketsOut int64
@@ -177,7 +211,10 @@ func (r *Result) DoneTimes() []float64 {
 // drops are impossible in lockstep mode: one tick's worst case is every
 // node targeting the same inbox with fanout packets each. Callers that
 // pre-build a ChanTransport (to wrap middlewares around it) should size
-// it with the same fanout they pass to Run.
+// it with the same fanout they pass to Run — and, under churn, pass
+// Config.maxNodes-many nodes and one extra fanout slot, since every
+// member may additionally address one hello to the same inbox in a
+// tick (join/leave bursts and the nothing-to-say announcement).
 func InboxBuffer(n, fanout int) int { return n*fanout + 1 }
 
 // gossiper is the per-node protocol state shared by both modes.
@@ -313,12 +350,19 @@ func (f *forwardNode) verify(toks []token.Token) error {
 	return nil
 }
 
-// Run disseminates toks across an n-node cluster until every node holds
-// all of them (coded: full span rank; forward: full token set), the
-// context is canceled, the timeout expires, or the lockstep tick cap is
-// hit. Token i starts at node i mod n. All token payloads must have the
-// same bit length. On a completed run every node's final state is
-// verified against the originals before Run returns.
+// Run disseminates toks across an n-node cluster until every live node
+// holds all of them (coded: full span rank; forward: full token set),
+// the context is canceled, the timeout expires, or the lockstep tick
+// cap is hit. Token i starts at node i mod n. All token payloads must
+// have the same bit length. On a completed run every live node's final
+// state is verified against the originals before Run returns.
+//
+// With a Churn schedule the membership is dynamic: joiners start empty
+// and bootstrap from a contact list of the nodes live at join time,
+// announcing themselves with wire.TypeHello; leavers announce their
+// departure; crashed nodes just go silent (their unclaimed inbox
+// absorbs wasted sends as drops). A run does not complete before every
+// scheduled join/restart has been applied and caught up.
 func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 	k := len(toks)
 	if cfg.N < 1 {
@@ -333,54 +377,68 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 			return nil, fmt.Errorf("cluster: token %d has %d payload bits, token 0 has %d", i, t.D(), d)
 		}
 	}
+	if cfg.Mode != Coded && cfg.Mode != Forward {
+		return nil, fmt.Errorf("cluster: unknown mode %d", cfg.Mode)
+	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 
+	maxN := cfg.maxNodes()
 	fanout := cfg.fanout()
 	tr := cfg.Transport
 	if tr == nil {
-		tr = NewChanTransport(cfg.N, InboxBuffer(cfg.N, fanout))
+		extra := 0
+		if cfg.Churn != nil {
+			extra = 1 // hello headroom; see InboxBuffer
+		}
+		tr = NewChanTransport(maxN, InboxBuffer(maxN, fanout+extra))
 	}
 	defer tr.Close()
 
-	nodes := make([]gossiper, cfg.N)
-	rngs := make([]*rand.Rand, cfg.N)
+	res := &Result{Nodes: make([]NodeMetrics, maxN)}
+	cr := &clusterRun{
+		cfg:     cfg,
+		toks:    toks,
+		tr:      tr,
+		res:     res,
+		maxN:    maxN,
+		fanout:  fanout,
+		members: make([]*member, maxN),
+		live:    make([]bool, maxN),
+		ch:      NewChurner(cfg.Churn, cfg.N, maxN, cfg.Seed),
+	}
 	for i := 0; i < cfg.N; i++ {
-		rngs[i] = rand.New(rand.NewSource(cfg.Seed + 7919*int64(i) + 1))
-		switch cfg.Mode {
-		case Coded:
-			span := rlnc.NewSpan(k, token.UIDBits+d)
-			for j := i; j < k; j += cfg.N {
-				span.Add(rlnc.Encode(j, k, TokenVec(toks[j])))
-			}
-			nodes[i] = &codedNode{id: i, span: span, rng: rngs[i]}
-		case Forward:
-			set := token.NewSet()
-			for j := i; j < k; j += cfg.N {
-				set.Add(toks[j])
-			}
-			nodes[i] = &forwardNode{id: i, k: k, set: set, rng: rngs[i]}
-		default:
-			return nil, fmt.Errorf("cluster: unknown mode %d", cfg.Mode)
-		}
+		cr.live[i] = true
+	}
+	for i := 0; i < cfg.N; i++ {
+		cr.spawn(i, true, 0)
 	}
 
-	res := &Result{Nodes: make([]NodeMetrics, cfg.N)}
 	start := time.Now()
 	if cfg.Lockstep {
-		runLockstep(ctx, cfg, tr, nodes, rngs, res)
+		cr.runLockstep(ctx)
 	} else {
-		runAsync(ctx, cfg, tr, nodes, rngs, res, start)
+		cr.runAsync(ctx, start)
 	}
 	res.Elapsed = time.Since(start)
 
-	for _, m := range res.Nodes {
+	for id := range res.Nodes {
+		m := &res.Nodes[id]
 		res.PacketsOut += m.PacketsOut
 		res.PacketsIn += m.PacketsIn
 		res.BitsOut += m.BitsOut
 		res.Dropped += m.Dropped
+		if m.Live {
+			res.FinalLive++
+		}
 	}
 	if res.Completed {
-		for _, n := range nodes {
-			if err := n.verify(toks); err != nil {
+		for id, mb := range cr.members {
+			if mb == nil || !res.Nodes[id].Live {
+				continue
+			}
+			if err := mb.g.verify(toks); err != nil {
 				return res, fmt.Errorf("cluster: verification failed: %w", err)
 			}
 		}
@@ -398,126 +456,223 @@ type nodeIO struct {
 	ring *BufRing
 }
 
-func newNodeIOs(n int) []nodeIO {
-	ios := make([]nodeIO, n)
-	for i := range ios {
-		ios[i].ring = NewBufRing(DefaultRingCap)
+// member bundles one node's whole runtime: the protocol gossiper, its
+// membership view, randomness, metrics and packet plumbing. Like the
+// nodeIO it wraps, a member is only ever touched by the goroutine (or
+// lockstep slot) currently driving the node, which is what keeps churn
+// restarts race-free: the old goroutine fully exits before the state
+// is handed to the next incarnation.
+type member struct {
+	id   int
+	g    gossiper
+	view *View
+	rng  *rand.Rand
+	io   nodeIO
+	m    *NodeMetrics
+}
+
+// clusterRun is the shared run state of both drivers: the member table
+// (indexed by node id, nil until spawned), the live set, and the
+// churner applying the membership script.
+type clusterRun struct {
+	cfg     Config
+	toks    []token.Token
+	tr      Transport
+	res     *Result
+	maxN    int
+	fanout  int
+	members []*member
+	live    []bool
+	ch      *Churner
+}
+
+// spawn builds (or wipes) the member for id. Initial members seed
+// their share of the tokens; joiners start empty. The view is a
+// snapshot of the nodes currently live — a joiner's contact list.
+func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
+	k := len(cr.toks)
+	d := cr.toks[0].D()
+	rng := rand.New(rand.NewSource(cr.cfg.Seed + 7919*int64(id) + 1))
+	var g gossiper
+	switch cr.cfg.Mode {
+	case Coded:
+		span := rlnc.NewSpan(k, token.UIDBits+d)
+		if seedTokens {
+			for j := id; j < k; j += cr.cfg.N {
+				span.Add(rlnc.Encode(j, k, TokenVec(cr.toks[j])))
+			}
+		}
+		g = &codedNode{id: id, span: span, rng: rng}
+	case Forward:
+		set := token.NewSet()
+		if seedTokens {
+			for j := id; j < k; j += cr.cfg.N {
+				set.Add(cr.toks[j])
+			}
+		}
+		g = &forwardNode{id: id, k: k, set: set, rng: rng}
 	}
-	return ios
+	view := NewView(id, cr.maxN)
+	for pid, l := range cr.live {
+		if l {
+			view.Mark(pid, now)
+		}
+	}
+	mb := &member{id: id, g: g, view: view, rng: rng, m: &cr.res.Nodes[id]}
+	mb.io.ring = NewBufRing(DefaultRingCap)
+	mb.m.Spawned = true
+	mb.m.Live = true
+	cr.members[id] = mb
+	return mb
 }
 
-// recv decodes one drained inbox buffer into the rx scratch, feeds it
-// to the gossiper, and recycles the buffer. It reports innovation.
-func (io *nodeIO) recv(node gossiper, raw []byte) bool {
-	return DecodeRecycle(&io.rx, io.ring, raw) && node.absorb(&io.rx)
+// recv decodes one drained inbox buffer into the member's rx scratch,
+// folds membership information out of it (every packet proves its
+// sender live; hellos carry views and leave announcements), and feeds
+// gossip packets to the gossiper. It reports innovation. PacketsIn
+// counts gossip payload packets only — hellos are control traffic,
+// visible in the metrics as HellosOut plus their BitsOut, so the
+// in/out packet counters reconcile under churn.
+func (mb *member) recv(raw []byte, now int64) bool {
+	if !DecodeRecycle(&mb.io.rx, mb.io.ring, raw) {
+		return false
+	}
+	p := &mb.io.rx
+	sender := int(p.Env.Sender)
+	if p.Env.Type == wire.TypeHello {
+		if p.Hello.Leaving {
+			mb.view.Remove(sender)
+			return false
+		}
+		mb.view.Mark(sender, now)
+		for _, pid := range p.Hello.Peers {
+			// Third-party introductions never refresh a known peer's
+			// stamp (see View.Introduce).
+			mb.view.Introduce(int(pid), now)
+		}
+		return false
+	}
+	mb.m.PacketsIn++
+	mb.view.Mark(sender, now)
+	return mb.g.absorb(p)
 }
 
-// sendFresh pushes fanout fresh packets from node id to random peers,
-// updating its metrics. It is the shared emission step of both modes:
-// emitInto fills the node's tx scratch, AppendTo marshals it into a
-// recycled buffer, and a dropped Send returns the buffer to the ring —
-// the steady-state path touches the allocator not at all.
-func sendFresh(tr Transport, nodes []gossiper, rng *rand.Rand, m *NodeMetrics, id, n, fanout int, io *nodeIO) {
+// emit pushes up to fanout fresh packets to random view peers: emitInto
+// fills the tx scratch, AppendTo marshals it into a recycled buffer,
+// and a dropped Send returns the buffer to the ring — the steady-state
+// path touches the allocator not at all. A member with nothing to
+// gossip yet (a joiner before its first packet) instead announces
+// itself to one random peer when churn is on, so peers learn to push
+// to it even if its join-time hello burst was lost.
+func (mb *member) emit(tr Transport, fanout int, now int64, churn bool) {
+	if mb.view.LiveCount() < 2 {
+		return
+	}
 	for f := 0; f < fanout; f++ {
-		if !nodes[id].emitInto(&io.tx, int(m.PacketsOut)) {
+		if !mb.g.emitInto(&mb.io.tx, int(mb.m.PacketsOut)) {
+			if f == 0 && churn {
+				if peer := mb.view.Pick(mb.rng, now); peer >= 0 {
+					mb.buildHello(false)
+					mb.sendHello(tr, peer)
+				}
+			}
 			return
 		}
-		peer := rng.Intn(n - 1)
-		if peer >= id {
-			peer++
+		peer := mb.view.Pick(mb.rng, now)
+		if peer < 0 {
+			return
 		}
-		m.PacketsOut++
-		m.BitsOut += int64(io.tx.Bits())
-		buf := io.tx.AppendTo(io.ring.Get()[:0])
-		if !tr.Send(id, peer, buf) {
-			m.Dropped++
-			io.ring.Put(buf)
+		mb.m.PacketsOut++
+		mb.m.BitsOut += int64(mb.io.tx.Bits())
+		buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
+		if !tr.Send(mb.id, peer, buf) {
+			mb.m.Dropped++
+			mb.io.ring.Put(buf)
 		}
 	}
 }
 
-// runAsync is the goroutine-per-node execution: ticker-paced emission
-// plus an immediate push after every innovative receipt.
-func runAsync(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, rngs []*rand.Rand, res *Result, start time.Time) {
-	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
-	defer cancel()
-
-	var remaining atomic.Int64
-	remaining.Store(int64(cfg.N))
-	allDone := make(chan struct{})
-
-	ios := newNodeIOs(cfg.N)
-	var wg sync.WaitGroup
-	for id := 0; id < cfg.N; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			node, m, rng, nio := nodes[id], &res.Nodes[id], rngs[id], &ios[id]
-			markDone := func() {
-				if m.Done || !node.complete() {
-					return
-				}
-				m.Done = true
-				m.DoneAt = time.Since(start)
-				if remaining.Add(-1) == 0 {
-					close(allDone)
-				}
-			}
-			markDone() // n == 1 or a node seeded with everything
-			emit := func() {
-				if cfg.N > 1 {
-					sendFresh(tr, nodes, rng, m, id, cfg.N, cfg.fanout(), nio)
-				}
-			}
-			ticker := time.NewTicker(cfg.interval())
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case raw := <-tr.Recv(id):
-					m.PacketsIn++
-					if nio.recv(node, raw) {
-						m.Innovative++
-						markDone()
-						emit()
-					}
-				case <-ticker.C:
-					emit()
-				}
-			}
-		}(id)
-	}
-
-	select {
-	case <-allDone:
-		res.Completed = true
-	case <-ctx.Done():
-	}
-	cancel()
-	wg.Wait()
+// buildHello fills the tx scratch with a membership announcement
+// carrying the member's current live view.
+func (mb *member) buildHello(leaving bool) {
+	tx := &mb.io.tx
+	tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeHello, Sender: uint32(mb.id), Epoch: 0}
+	tx.Hello.Leaving = leaving
+	tx.Hello.Peers = mb.view.AppendPeers(tx.Hello.Peers[:0])
 }
 
-// runLockstep is the deterministic driver: per tick, every node drains
-// its inbox in id order, completion is recorded, then every node emits.
-// With a seeded Config the whole run — including middleware coin flips —
-// is a pure function of the seed; context cancellation (checked once
-// per tick) only ever cuts a run short, it cannot change the ticks that
-// did execute.
-func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper, rngs []*rand.Rand, res *Result) {
-	fanout := cfg.fanout()
-	ios := newNodeIOs(cfg.N)
+// sendHello marshals the tx scratch (a hello built by buildHello) to
+// one peer, with the usual ring-buffer recycling.
+func (mb *member) sendHello(tr Transport, peer int) {
+	mb.m.HellosOut++
+	mb.m.BitsOut += int64(mb.io.tx.Bits())
+	buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
+	if !tr.Send(mb.id, peer, buf) {
+		mb.m.Dropped++
+		mb.io.ring.Put(buf)
+	}
+}
+
+// helloAll announces to every peer currently in the view: the
+// join/restart introduction burst, or the graceful-leave goodbye.
+func (mb *member) helloAll(tr Transport, leaving bool) {
+	mb.buildHello(leaving)
+	for _, pid := range mb.io.tx.Hello.Peers {
+		if int(pid) != mb.id {
+			mb.sendHello(tr, int(pid))
+		}
+	}
+}
+
+// applyLockstep executes one churn operation under the lockstep
+// driver. The churner has already flipped cr.live.
+func (cr *clusterRun) applyLockstep(op ChurnOp, tick int) {
+	m := &cr.res.Nodes[op.ID]
+	switch op.Kind {
+	case ChurnJoin, ChurnRejoin:
+		mb := cr.spawn(op.ID, false, int64(tick))
+		m.Done = false
+		m.DoneTick = 0
+		m.JoinTick = tick
+		mb.helloAll(cr.tr, false)
+	case ChurnRestart:
+		mb := cr.members[op.ID]
+		m.Live = true
+		m.JoinTick = tick
+		mb.helloAll(cr.tr, false)
+	case ChurnLeave:
+		cr.members[op.ID].helloAll(cr.tr, true)
+		m.Live = false
+	case ChurnCrash:
+		m.Live = false
+	}
+}
+
+// runLockstep is the deterministic driver: per tick, churn events
+// apply, every live node drains its inbox in id order, completion is
+// recorded, then every live node emits. With a seeded Config the whole
+// run — middleware coin flips, churn victims, everything — is a pure
+// function of the seed; context cancellation (checked once per tick)
+// only ever cuts a run short, it cannot change the ticks that did
+// execute.
+func (cr *clusterRun) runLockstep(ctx context.Context) {
+	cfg, res := cr.cfg, cr.res
 	complete := func(tick int) bool {
 		all := true
-		for id := range nodes {
+		for id, mb := range cr.members {
+			if mb == nil {
+				continue
+			}
 			m := &res.Nodes[id]
-			if !m.Done && nodes[id].complete() {
+			if !m.Done && mb.g.complete() {
 				m.Done = true
 				m.DoneTick = tick
 			}
-			all = all && m.Done
+			if cr.live[id] {
+				all = all && m.Done
+			}
 		}
-		return all
+		return all && !cr.ch.PendingAdds()
 	}
 	if complete(0) {
 		res.Completed = true
@@ -530,14 +685,19 @@ func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper
 			return
 		default:
 		}
-		for id := range nodes {
+		for _, op := range cr.ch.PopUntil(tick, cr.live) {
+			cr.applyLockstep(op, tick)
+		}
+		for id, mb := range cr.members {
+			if mb == nil || !cr.live[id] {
+				continue
+			}
 			m := &res.Nodes[id]
-			inbox := tr.Recv(id)
+			inbox := cr.tr.Recv(id)
 			for drained := false; !drained; {
 				select {
 				case raw := <-inbox:
-					m.PacketsIn++
-					if ios[id].recv(nodes[id], raw) {
+					if mb.recv(raw, int64(tick)) {
 						m.Innovative++
 					}
 				default:
@@ -550,11 +710,196 @@ func runLockstep(ctx context.Context, cfg Config, tr Transport, nodes []gossiper
 			res.Ticks = tick
 			return
 		}
-		for id := range nodes {
-			if cfg.N > 1 {
-				sendFresh(tr, nodes, rngs[id], &res.Nodes[id], id, cfg.N, fanout, &ios[id])
+		for id, mb := range cr.members {
+			if mb != nil && cr.live[id] {
+				mb.emit(cr.tr, cr.fanout, int64(tick), cr.ch != nil)
 			}
 		}
 	}
 	res.Ticks = cfg.maxTicks()
+}
+
+// batchAdds reports whether a popped churn batch contains any
+// membership-adding operation (join, restart, rejoin).
+func batchAdds(ops []ChurnOp) bool {
+	for _, op := range ops {
+		switch op.Kind {
+		case ChurnJoin, ChurnRestart, ChurnRejoin:
+			return true
+		}
+	}
+	return false
+}
+
+// tracker is the async drivers' completion accounting, redesigned for
+// a changing population: instead of a fixed countdown it re-evaluates
+// "is every live node done, with no membership additions pending"
+// under one mutex, which node goroutines update on completion and the
+// churn controller updates on every membership change.
+type tracker struct {
+	mu          sync.Mutex
+	res         *Result
+	live        []bool
+	addsPending bool
+	allDone     chan struct{}
+	closed      bool
+}
+
+func (t *tracker) markDone(id int, g gossiper, at time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := &t.res.Nodes[id]
+	if m.Done || !g.complete() {
+		return
+	}
+	m.Done = true
+	m.DoneAt = at
+	t.check()
+}
+
+// check closes allDone when the run is complete. Callers hold mu.
+func (t *tracker) check() {
+	if t.closed || t.addsPending {
+		return
+	}
+	for id, l := range t.live {
+		if l && !t.res.Nodes[id].Done {
+			return
+		}
+	}
+	t.closed = true
+	close(t.allDone)
+}
+
+// runAsync is the goroutine-per-node execution: ticker-paced emission
+// plus an immediate push after every innovative receipt, with a churn
+// controller goroutine applying membership events at At×Interval wall
+// offsets — canceling crashed/leaving nodes (and joining on their
+// exit before flipping liveness, so member state never has two
+// owners) and spawning joiners.
+func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
+	cfg := cr.cfg
+	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
+	defer cancel()
+
+	tk := &tracker{res: cr.res, live: cr.live, addsPending: cr.ch.PendingAdds(), allDone: make(chan struct{})}
+	cancels := make([]context.CancelFunc, cr.maxN)
+	exited := make([]chan struct{}, cr.maxN)
+	var leaving []atomic.Bool
+	if cr.ch != nil {
+		leaving = make([]atomic.Bool, cr.maxN)
+	}
+
+	var wg sync.WaitGroup
+	spawnNode := func(id int, announce bool) {
+		nodeCtx, nodeCancel := context.WithCancel(ctx)
+		cancels[id] = nodeCancel
+		stop := make(chan struct{})
+		exited[id] = stop
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(stop)
+			mb := cr.members[id]
+			m := mb.m
+			now := func() int64 { return int64(time.Since(start)) }
+			if announce {
+				mb.helloAll(cr.tr, false)
+			}
+			markDone := func() { tk.markDone(id, mb.g, time.Since(start)) }
+			markDone() // n == 1 or a node seeded with everything
+			emit := func() { mb.emit(cr.tr, cr.fanout, now(), cr.ch != nil) }
+			ticker := time.NewTicker(cfg.interval())
+			defer ticker.Stop()
+			for {
+				select {
+				case <-nodeCtx.Done():
+					if leaving != nil && leaving[id].Load() {
+						mb.helloAll(cr.tr, true)
+					}
+					return
+				case raw := <-cr.tr.Recv(id):
+					if mb.recv(raw, now()) {
+						m.Innovative++
+						markDone()
+						emit()
+					}
+				case <-ticker.C:
+					emit()
+				}
+			}
+		}()
+	}
+	for id := 0; id < cfg.N; id++ {
+		spawnNode(id, false)
+	}
+
+	if cr.ch != nil {
+		wg.Add(1)
+		go func() { // churn controller
+			defer wg.Done()
+			for {
+				at, ok := cr.ch.NextAt()
+				if !ok {
+					return
+				}
+				timer := time.NewTimer(time.Until(start.Add(time.Duration(at) * cfg.interval())))
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+				tk.mu.Lock()
+				ops := append([]ChurnOp(nil), cr.ch.PopUntil(at, tk.live)...)
+				// Completion stays blocked until this batch's adds are
+				// applied too: PopUntil already flipped liveness, but a
+				// restart/rejoin below must reset its node's stale Done
+				// before any check() may trust the live set.
+				tk.addsPending = cr.ch.PendingAdds() || batchAdds(ops)
+				tk.mu.Unlock()
+				for _, op := range ops {
+					m := &cr.res.Nodes[op.ID]
+					switch op.Kind {
+					case ChurnCrash, ChurnLeave:
+						if op.Kind == ChurnLeave {
+							leaving[op.ID].Store(true)
+						}
+						cancels[op.ID]()
+						<-exited[op.ID]
+						leaving[op.ID].Store(false)
+						tk.mu.Lock()
+						m.Live = false
+						tk.check()
+						tk.mu.Unlock()
+					case ChurnJoin, ChurnRejoin:
+						tk.mu.Lock()
+						cr.spawn(op.ID, false, int64(time.Since(start)))
+						m.Done = false
+						m.JoinAt = time.Since(start)
+						tk.mu.Unlock()
+						spawnNode(op.ID, true)
+					case ChurnRestart:
+						tk.mu.Lock()
+						m.Live = true
+						m.JoinAt = time.Since(start)
+						tk.mu.Unlock()
+						spawnNode(op.ID, true)
+					}
+				}
+				tk.mu.Lock()
+				tk.addsPending = cr.ch.PendingAdds()
+				tk.check() // e.g. a restarted already-done node closes the run
+				tk.mu.Unlock()
+			}
+		}()
+	}
+
+	select {
+	case <-tk.allDone:
+		cr.res.Completed = true
+	case <-ctx.Done():
+	}
+	cancel()
+	wg.Wait()
 }

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/token"
+)
+
+// churnTrial is one seeded E13 data point: the same token set pushed
+// through the lockstep cluster runtime in both gossip modes, over an
+// identically-seeded lossy transport and an identically-seeded churn
+// schedule (joins, crashes, a leave).
+type churnTrial struct {
+	codedTicks, fwdTicks float64
+}
+
+// runChurnGossipTrial runs both modes at one (schedule, loss, seed)
+// triple. Victim selection, joins and every coin derive from the seed,
+// so E13 rides the deterministic parallel trial engine like E11.
+func runChurnGossipTrial(cfg Config, n, k, d int, churnSpec string, loss float64, seed int64) (churnTrial, error) {
+	const fanout = 2
+	sched, err := cluster.ParseChurn(churnSpec)
+	if err != nil {
+		return churnTrial{}, err
+	}
+	maxN := n + sched.Joins()
+	toks := token.RandomSet(k, d, rand.New(rand.NewSource(seed)))
+	run := func(mode cluster.Mode) (*cluster.Result, error) {
+		tr := cluster.WithLoss(cluster.NewChanTransport(maxN, cluster.InboxBuffer(maxN, fanout+1)), loss, seed*977+31)
+		res, err := cluster.Run(cfg.ctx(), cluster.Config{
+			N: n, Fanout: fanout, Mode: mode, Seed: seed, Transport: tr,
+			Lockstep: true, MaxTicks: 200000, Churn: sched,
+		}, toks)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Completed {
+			return nil, fmt.Errorf("exp: %v gossip incomplete under churn %q after %d ticks (loss %.2f, seed %d)",
+				mode, churnSpec, res.Ticks, loss, seed)
+		}
+		return res, nil
+	}
+	coded, err := run(cluster.Coded)
+	if err != nil {
+		return churnTrial{}, err
+	}
+	fwd, err := run(cluster.Forward)
+	if err != nil {
+		return churnTrial{}, err
+	}
+	return churnTrial{codedTicks: float64(coded.Ticks), fwdTicks: float64(fwd.Ticks)}, nil
+}
+
+// joinerTrial is one seeded stream data point for E13's catch-up
+// claim: a node joins mid-stream and must reach the cluster watermark.
+type joinerTrial struct {
+	catchUp  float64 // ticks from join to first delivery
+	startGen float64 // frontier learned at join
+}
+
+// runStreamJoinerTrial streams gens generations while one node joins
+// mid-run, and reports how long the joiner took to catch up to the
+// watermark it learned from gossip.
+func runStreamJoinerTrial(cfg Config, loss float64, seed int64) (joinerTrial, error) {
+	const n, k, d, gens, w, joinAt = 12, 6, 64, 10, 4, 30
+	sched, err := cluster.ParseChurn(fmt.Sprintf("join:%d:1", joinAt))
+	if err != nil {
+		return joinerTrial{}, err
+	}
+	maxN := n + 1
+	var tr cluster.Transport = cluster.NewChanTransport(maxN, stream.InboxBuffer(maxN, 3))
+	if loss > 0 {
+		tr = cluster.WithLoss(tr, loss, seed*977+31)
+	}
+	res, err := stream.Run(cfg.ctx(), stream.Config{
+		N: n, K: k, PayloadBits: d, Window: w, Generations: gens, Fanout: 2,
+		Seed: seed, Lockstep: true, Transport: tr, MaxTicks: 500000,
+		Churn: sched, SuspectTicks: 12,
+	})
+	if err != nil {
+		return joinerTrial{}, err
+	}
+	if !res.Completed {
+		return joinerTrial{}, fmt.Errorf("exp: joiner stream incomplete after %d ticks (loss %.2f, seed %d)", res.Ticks, loss, seed)
+	}
+	j := res.Nodes[n]
+	if !j.Done || j.CaughtUpTick < j.JoinTick {
+		return joinerTrial{}, fmt.Errorf("exp: joiner did not catch up (done %v, caught up %d, joined %d, seed %d)",
+			j.Done, j.CaughtUpTick, j.JoinTick, seed)
+	}
+	return joinerTrial{catchUp: float64(j.CaughtUpTick - j.JoinTick), startGen: float64(j.StartGen)}, nil
+}
+
+// E13 measures dissemination under churn: the adversary no longer just
+// rewires the topology every round (the paper's model, E1–E10) or
+// drops packets (E11/E12) — it now removes and adds the *nodes
+// themselves* mid-run, the dynamic-participation setting the
+// cluster/stream membership subsystem exists for. Coded gossip should
+// keep its E11 separation over store-and-forward under every churn
+// rate × loss cell: a joiner needs any k innovative packets while a
+// forwarding joiner pays the full coupon-collector tail from zero, and
+// crash victims cost coded gossip only rank (any recoded packet
+// replaces it) while forwarding must re-collect the victim's exact
+// unspread tokens. The streaming runtime's mid-stream joiner must
+// additionally reach the cluster watermark it learned from gossip —
+// the catch-up figures land in the notes.
+func E13(cfg Config) (*sim.Table, error) {
+	n, k, d := 16, 16, 64
+	schedules := []struct{ name, spec string }{
+		{"none", ""},
+		{"light", "crash:10:1,join:14:1"},
+		{"heavy", "crash:8:1,join:10:2,leave:16:1,restart:22:1"},
+	}
+	losses := []float64{0, 0.2}
+	if cfg.Quick {
+		n, k = 10, 10
+		schedules = schedules[:2]
+		losses = []float64{0.2}
+	}
+	t := &sim.Table{
+		Caption: fmt.Sprintf("E13: coded vs store-and-forward gossip under churn × loss (lockstep cluster, n=%d, k=%d, d=%d)", n, k, d),
+		Header:  []string{"churn", "loss", "coded(ticks)", "fwd(ticks)", "fwd/coded"},
+	}
+	minRatio := -1.0
+	for _, schedule := range schedules {
+		for _, loss := range losses {
+			schedule, loss := schedule, loss
+			trials, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (churnTrial, error) {
+				return runChurnGossipTrial(cfg, n, k, d, schedule.spec, loss, cfg.Seed+seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var g churnTrial
+			for _, tr := range trials {
+				g.codedTicks += tr.codedTicks
+				g.fwdTicks += tr.fwdTicks
+			}
+			m := float64(len(trials))
+			ratio := g.fwdTicks / g.codedTicks
+			if minRatio < 0 || ratio < minRatio {
+				minRatio = ratio
+			}
+			t.AddRow(schedule.name, fmt.Sprintf("%.1f", loss), sim.F(g.codedTicks/m), sim.F(g.fwdTicks/m), sim.F(ratio))
+		}
+	}
+	// Stream joiner catch-up at the same loss points.
+	for _, loss := range losses {
+		loss := loss
+		trials, err := sweepSeeded(cfg, cfg.trials(), func(seed int64) (joinerTrial, error) {
+			return runStreamJoinerTrial(cfg, loss, cfg.Seed+seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sumCatch, sumStart float64
+		for _, tr := range trials {
+			sumCatch += tr.catchUp
+			sumStart += tr.startGen
+		}
+		m := float64(len(trials))
+		t.AddNote("mid-stream joiner (stream runtime, n=12, k=6, 10 generations, join@tick 30, loss %.1f): learned frontier at gen %.1f, caught up to the cluster watermark in %.1f ticks (mean of %d trials)",
+			loss, sumStart/m, sumCatch/m, len(trials))
+	}
+	verdict := "PASS"
+	if minRatio < 2 {
+		verdict = "FAIL"
+	}
+	t.AddNote("require: fwd/coded >= 2x in every churn × loss cell, every run complete with all live nodes verified, every joiner caught up: %s (min ratio %.2f)", verdict, minRatio)
+	for _, schedule := range schedules[1:] {
+		t.AddNote("churn %q = %q (kind:tick:count grammar)", schedule.name, schedule.spec)
+	}
+	return t, nil
+}

@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"E10", "centralized coding is linear-time at b = d (Cor 2.6)", E10},
 		{"E11", "async coded gossip beats store-and-forward under loss (Thm 2.3, cluster runtime)", E11},
 		{"E12", "pipelined generation windows beat sequential streaming under loss (perfect pipelining, stream runtime)", E12},
+		{"E13", "coded gossip keeps its edge under node churn; mid-stream joiners catch up (membership subsystem)", E13},
 	}
 }
 

@@ -9,37 +9,95 @@ import (
 	"repro/internal/cluster"
 )
 
-// runLockstep is the deterministic driver: per tick, every node drains
-// its inbox in id order, completion is recorded, then every node pushes
-// fanout data packets plus one ack. With a seeded Config the whole run
-// — including middleware coin flips — is a pure function of the seed;
-// context cancellation (checked once per tick) only ever cuts a run
-// short, it cannot change the ticks that did execute.
-func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*node, res *Result) error {
-	firstErr := func() error {
-		for _, nd := range nodes {
-			if nd.err != nil {
-				return nd.err
-			}
+// streamRun is the shared run state of both drivers: the node table
+// (indexed by id over the whole id space, nil until spawned), the live
+// set, and the churner applying the membership script.
+type streamRun struct {
+	cfg   Config
+	src   Source
+	tr    cluster.Transport
+	res   *Result
+	maxN  int
+	nodes []*node
+	live  []bool
+	ch    *cluster.Churner
+}
+
+func (sr *streamRun) firstErr() error {
+	for _, nd := range sr.nodes {
+		if nd != nil && nd.err != nil {
+			return nd.err
 		}
-		return nil
 	}
+	return nil
+}
+
+// applyLockstep executes one churn operation under the lockstep
+// driver. The churner has already flipped sr.live.
+func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
+	m := &sr.res.Nodes[op.ID]
+	switch op.Kind {
+	case cluster.ChurnJoin, cluster.ChurnRejoin:
+		nd := newNode(op.ID, sr.cfg, sr.src, m, sr.live, int64(tick), true)
+		sr.nodes[op.ID] = nd
+		m.Done = false
+		m.DoneTick = 0
+		m.JoinTick = tick
+		nd.helloAll(sr.tr, false)
+	case cluster.ChurnRestart:
+		nd := sr.nodes[op.ID]
+		nd.now = int64(tick)
+		// Re-learn the frontier before resuming: the cluster may have
+		// retired generations past this node's persisted watermark
+		// while it was down.
+		nd.bootstrapped = false
+		m.Live = true
+		m.Done = false
+		m.JoinTick = tick
+		nd.helloAll(sr.tr, false)
+	case cluster.ChurnLeave:
+		nd := sr.nodes[op.ID]
+		nd.now = int64(tick)
+		nd.helloAll(sr.tr, true)
+		m.Live = false
+	case cluster.ChurnCrash:
+		m.Live = false
+	}
+}
+
+// runLockstep is the deterministic driver: per tick, churn events
+// apply, every live node drains its inbox in id order, completion is
+// recorded, then every live node pushes fanout data packets plus one
+// ack (and, in churn runs, adopts tokens orphaned by dead origins).
+// With a seeded Config the whole run — middleware coin flips, churn
+// victims, everything — is a pure function of the seed; context
+// cancellation (checked once per tick) only ever cuts a run short, it
+// cannot change the ticks that did execute.
+func (sr *streamRun) runLockstep(ctx context.Context) error {
+	cfg, res := sr.cfg, sr.res
 	complete := func(tick int) bool {
 		all := true
-		for _, nd := range nodes {
+		for id, nd := range sr.nodes {
+			if nd == nil {
+				continue
+			}
 			if !nd.m.Done && nd.done() {
 				nd.m.Done = true
 				nd.m.DoneTick = tick
 			}
-			all = all && nd.m.Done
+			if sr.live[id] {
+				all = all && nd.m.Done
+			}
 		}
-		return all
+		return all && !sr.ch.PendingAdds()
 	}
 
-	for _, nd := range nodes {
-		nd.prime()
+	for _, nd := range sr.nodes {
+		if nd != nil {
+			nd.prime()
+		}
 	}
-	if err := firstErr(); err != nil {
+	if err := sr.firstErr(); err != nil {
 		return err
 	}
 	if complete(0) {
@@ -53,8 +111,15 @@ func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []
 			return nil
 		default:
 		}
-		for _, nd := range nodes {
-			inbox := tr.Recv(nd.id)
+		for _, op := range sr.ch.PopUntil(tick, sr.live) {
+			sr.applyLockstep(op, tick)
+		}
+		for id, nd := range sr.nodes {
+			if nd == nil || !sr.live[id] {
+				continue
+			}
+			nd.now = int64(tick)
+			inbox := sr.tr.Recv(id)
 			for drained := false; !drained; {
 				select {
 				case raw := <-inbox:
@@ -64,7 +129,7 @@ func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []
 				}
 			}
 		}
-		if err := firstErr(); err != nil {
+		if err := sr.firstErr(); err != nil {
 			return err
 		}
 		if complete(tick) {
@@ -72,33 +137,107 @@ func runLockstep(ctx context.Context, cfg Config, tr cluster.Transport, nodes []
 			res.Ticks = tick
 			return nil
 		}
-		for _, nd := range nodes {
-			nd.pushData(tr)
-			nd.pushAck(tr)
+		for id, nd := range sr.nodes {
+			if nd == nil || !sr.live[id] {
+				continue
+			}
+			nd.adoptOrphans()
+			nd.pushData(sr.tr)
+			nd.pushAck(sr.tr)
+		}
+		if err := sr.firstErr(); err != nil {
+			return err
 		}
 	}
 	res.Ticks = cfg.maxTicks()
 	return nil
 }
 
+// batchAdds reports whether a popped churn batch contains any
+// membership-adding operation (join, restart, rejoin).
+func batchAdds(ops []cluster.ChurnOp) bool {
+	for _, op := range ops {
+		switch op.Kind {
+		case cluster.ChurnJoin, cluster.ChurnRestart, cluster.ChurnRejoin:
+			return true
+		}
+	}
+	return false
+}
+
+// tracker is the async driver's completion accounting, redesigned for
+// a changing population (mirroring the cluster runtime): one mutex
+// guards "is every live node done, with no membership additions
+// pending", updated by node goroutines on completion and by the churn
+// controller on every membership change.
+type tracker struct {
+	mu          sync.Mutex
+	res         *Result
+	live        []bool
+	addsPending bool
+	allDone     chan struct{}
+	closed      bool
+}
+
+func (t *tracker) markDone(id int, nd *node, at time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := &t.res.Nodes[id]
+	if m.Done || !nd.done() {
+		return
+	}
+	m.Done = true
+	m.DoneAt = at
+	t.check()
+}
+
+// check closes allDone when the run is complete. Callers hold mu.
+func (t *tracker) check() {
+	if t.closed || t.addsPending {
+		return
+	}
+	for id, l := range t.live {
+		if l && !t.res.Nodes[id].Done {
+			return
+		}
+	}
+	t.closed = true
+	close(t.allDone)
+}
+
 // runAsync is the goroutine-per-node execution: ticker-paced data and
-// ack emission plus an immediate data push after every packet that made
-// progress (an innovative combination or a watermark advance, either of
-// which can open new window generations).
-func runAsync(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*node, res *Result, start time.Time) error {
+// ack emission plus an immediate data push after every packet that
+// made progress, with a churn controller applying membership events at
+// At×Interval wall offsets. Crashing or leaving nodes are canceled and
+// fully joined before liveness flips, so node state never has two
+// owners across a restart.
+func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
+	cfg := sr.cfg
 	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
 	defer cancel()
 
-	var remaining atomic.Int64
-	remaining.Store(int64(cfg.N))
-	allDone := make(chan struct{})
-	errCh := make(chan error, cfg.N)
+	tk := &tracker{res: sr.res, live: sr.live, addsPending: sr.ch.PendingAdds(), allDone: make(chan struct{})}
+	errCh := make(chan error, sr.maxN)
+	cancels := make([]context.CancelFunc, sr.maxN)
+	exited := make([]chan struct{}, sr.maxN)
+	var leaving []atomic.Bool
+	if sr.ch != nil {
+		leaving = make([]atomic.Bool, sr.maxN)
+	}
 
 	var wg sync.WaitGroup
-	for id := 0; id < cfg.N; id++ {
+	spawnNode := func(id int, announce bool) {
+		nodeCtx, nodeCancel := context.WithCancel(ctx)
+		cancels[id] = nodeCancel
+		stop := make(chan struct{})
+		exited[id] = stop
 		wg.Add(1)
-		go func(nd *node) {
+		go func() {
 			defer wg.Done()
+			defer close(stop)
+			nd := sr.nodes[id]
+			tick := func() { nd.now = int64(time.Since(start)) }
+			tick()
 			fail := func() bool {
 				if nd.err == nil {
 					return false
@@ -107,15 +246,9 @@ func runAsync(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*no
 				cancel()
 				return true
 			}
-			markDone := func() {
-				if nd.m.Done || !nd.done() {
-					return
-				}
-				nd.m.Done = true
-				nd.m.DoneAt = time.Since(start)
-				if remaining.Add(-1) == 0 {
-					close(allDone)
-				}
+			markDone := func() { tk.markDone(id, nd, time.Since(start)) }
+			if announce {
+				nd.helloAll(sr.tr, false)
 			}
 			nd.prime()
 			if fail() {
@@ -126,28 +259,107 @@ func runAsync(ctx context.Context, cfg Config, tr cluster.Transport, nodes []*no
 			defer ticker.Stop()
 			for {
 				select {
-				case <-ctx.Done():
+				case <-nodeCtx.Done():
+					if leaving != nil && leaving[id].Load() {
+						tick()
+						nd.helloAll(sr.tr, true)
+					}
 					return
-				case raw := <-tr.Recv(nd.id):
+				case raw := <-sr.tr.Recv(id):
+					tick()
 					if nd.recv(raw) {
 						if fail() {
 							return
 						}
 						markDone()
-						nd.pushData(tr)
+						nd.pushData(sr.tr)
 					}
 				case <-ticker.C:
-					nd.pushData(tr)
-					nd.pushAck(tr)
+					tick()
+					nd.adoptOrphans()
+					if fail() {
+						return
+					}
+					markDone() // adoption can finish the stream
+					nd.pushData(sr.tr)
+					nd.pushAck(sr.tr)
 				}
 			}
-		}(nodes[id])
+		}()
+	}
+	for id := 0; id < cfg.N; id++ {
+		spawnNode(id, false)
+	}
+
+	if sr.ch != nil {
+		wg.Add(1)
+		go func() { // churn controller
+			defer wg.Done()
+			for {
+				at, ok := sr.ch.NextAt()
+				if !ok {
+					return
+				}
+				timer := time.NewTimer(time.Until(start.Add(time.Duration(at) * cfg.interval())))
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+				tk.mu.Lock()
+				ops := append([]cluster.ChurnOp(nil), sr.ch.PopUntil(at, tk.live)...)
+				// Completion stays blocked until this batch's adds are
+				// applied too: PopUntil already flipped liveness, but a
+				// restart/rejoin below must reset its node's stale Done
+				// before any check() may trust the live set.
+				tk.addsPending = sr.ch.PendingAdds() || batchAdds(ops)
+				tk.mu.Unlock()
+				for _, op := range ops {
+					m := &sr.res.Nodes[op.ID]
+					switch op.Kind {
+					case cluster.ChurnCrash, cluster.ChurnLeave:
+						if op.Kind == cluster.ChurnLeave {
+							leaving[op.ID].Store(true)
+						}
+						cancels[op.ID]()
+						<-exited[op.ID]
+						leaving[op.ID].Store(false)
+						tk.mu.Lock()
+						m.Live = false
+						tk.check()
+						tk.mu.Unlock()
+					case cluster.ChurnJoin, cluster.ChurnRejoin:
+						tk.mu.Lock()
+						sr.nodes[op.ID] = newNode(op.ID, cfg, sr.src, m, tk.live, int64(time.Since(start)), true)
+						m.Done = false
+						m.JoinAt = time.Since(start)
+						tk.mu.Unlock()
+						spawnNode(op.ID, true)
+					case cluster.ChurnRestart:
+						tk.mu.Lock()
+						// Re-learn the frontier before resuming; see the
+						// lockstep restart path.
+						sr.nodes[op.ID].bootstrapped = false
+						m.Live = true
+						m.Done = false
+						m.JoinAt = time.Since(start)
+						tk.mu.Unlock()
+						spawnNode(op.ID, true)
+					}
+				}
+				tk.mu.Lock()
+				tk.addsPending = sr.ch.PendingAdds()
+				tk.check()
+				tk.mu.Unlock()
+			}
+		}()
 	}
 
 	var err error
 	select {
-	case <-allDone:
-		res.Completed = true
+	case <-tk.allDone:
+		sr.res.Completed = true
 	case err = <-errCh:
 	case <-ctx.Done():
 	}

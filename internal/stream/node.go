@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/rlnc"
@@ -17,7 +18,9 @@ func newGenRand(seed int64, g int) *rand.Rand {
 }
 
 // genOwner returns the node where token j of generation g originates.
-// Origins rotate across the cluster so every node takes sourcing turns.
+// Origins rotate across the initial membership so every founding node
+// takes sourcing turns; joiners never source primarily but may adopt
+// the tokens of a departed origin (see adoptOrphans).
 func genOwner(g, k, j, n int) int { return (g*k + j) % n }
 
 // genState is one live generation at one node.
@@ -33,28 +36,46 @@ type genState struct {
 	// rotation early, ahead of the watermark frontier retiring it.
 	ackedFull  []bool
 	ackedCount int
+	// adopted[j] records that this node already injected token j on
+	// behalf of a departed origin (see adoptOrphans), so the adoption
+	// sweep does not re-encode the same rows every tick.
+	adopted []bool
 }
 
 // node is the per-node streaming protocol state, shared by the lockstep
 // and async drivers. All methods are single-threaded per node: the
 // lockstep driver calls them from one goroutine, the async driver from
-// the node's own goroutine.
+// the node's own goroutine (and across a crash/restart the drivers
+// sequence the handoff, so state never has two owners).
 type node struct {
-	id      int
-	n       int
-	k       int
-	d       int // payload bits
-	vecBits int // k + UIDBits + d, the span's column count
-	window  int
-	gens    int
-	fanout  int
-	src     Source
-	rng     *rand.Rand
-	deliver DeliverFunc
+	id       int
+	n        int // initial membership (origin rotation modulus)
+	maxN     int // node id space: n + churn joins
+	k        int
+	d        int // payload bits
+	vecBits  int // k + UIDBits + d, the span's column count
+	window   int
+	gens     int
+	fanout   int
+	churn    bool
+	lockstep bool
+	src      Source
+	rng      *rand.Rand
+	deliver  DeliverFunc
+
+	// view is the node's membership view; peer sampling, hello
+	// bookkeeping and — crucially — the retirement frontier run over
+	// it, so a crashed node's stale watermark stops holding the
+	// frontier once suspicion evicts it.
+	view *cluster.View
+	// now is the node's current clock in view-stamp units (lockstep
+	// tick / async nanoseconds), set by the driver before it hands the
+	// node packets or emission slots.
+	now int64
 
 	// base is the retirement frontier: the oldest generation not yet
-	// known to be decoded by every node (== min over marks). Spans
-	// below base are GC'd.
+	// known to be decoded by every frontier member. Spans below base
+	// are GC'd.
 	base int
 	// spans holds the live generations, keyed by generation number.
 	spans map[int]*genState
@@ -63,13 +84,30 @@ type node struct {
 	// marks[i] is the highest delivery watermark learned for node i
 	// (marks[id] is maintained locally as delivered).
 	marks []int
-	// delivered is the number of generations decoded and handed to the
-	// consumer, in order.
+	// delivered is the absolute watermark: generations in
+	// [startGen, delivered) were decoded, verified and handed to the
+	// consumer in order.
 	delivered int
+	// startGen is where this node's delivery obligation starts: 0 for
+	// founding members, the retirement frontier learned at join time
+	// for joiners (generations before it were already cluster-delivered
+	// and may be unobtainable; a joiner does not re-deliver them).
+	startGen int
+	// bootstrapped is false for a joiner until it learns the frontier
+	// from its first watermark gossip; until then it opens no
+	// generations and sends no acks, only hello announcements.
+	bootstrapped bool
 	// cursor round-robins data emissions across the active window.
 	cursor int
 	// cands is the emission candidate scratch buffer.
 	cands []int
+	// serveQ queues catch-up requests discovered in acks: a peer
+	// reporting partial rank for a generation this node already
+	// retired is behind the frontier (a joiner whose bootstrap lost a
+	// race, or a restarted node); the generations are re-derivable
+	// from the pure Source, so the next emission slot serves them back
+	// directly. Only ever non-empty in churn runs.
+	serveQ []serveReq
 
 	// tx/rx are the node's reusable packet scratches (emitInto /
 	// UnmarshalInto targets) and ring recycles wire buffers between the
@@ -85,24 +123,43 @@ type node struct {
 	err error
 }
 
-func newNode(id int, cfg Config, src Source, m *NodeMetrics) *node {
-	return &node{
-		id:      id,
-		n:       cfg.N,
-		k:       cfg.K,
-		d:       cfg.PayloadBits,
-		vecBits: cfg.K + token.UIDBits + cfg.PayloadBits,
-		window:  cfg.window(),
-		gens:    cfg.Generations,
-		fanout:  cfg.fanout(),
-		src:     src,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 7919*int64(id) + 1)),
-		deliver: cfg.Deliver,
-		spans:   make(map[int]*genState),
-		marks:   make([]int, cfg.N),
-		ring:    cluster.NewBufRing(cluster.DefaultRingCap),
-		m:       m,
+// newNode builds the runtime state for one node. live is the current
+// membership snapshot (the node's initial view / a joiner's contact
+// list); joiner marks the node as needing frontier bootstrap.
+func newNode(id int, cfg Config, src Source, m *NodeMetrics, live []bool, now int64, joiner bool) *node {
+	maxN := cfg.maxNodes()
+	nd := &node{
+		id:           id,
+		n:            cfg.N,
+		maxN:         maxN,
+		k:            cfg.K,
+		d:            cfg.PayloadBits,
+		vecBits:      cfg.K + token.UIDBits + cfg.PayloadBits,
+		window:       cfg.window(),
+		gens:         cfg.Generations,
+		fanout:       cfg.fanout(),
+		churn:        cfg.Churn != nil,
+		lockstep:     cfg.Lockstep,
+		src:          src,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 7919*int64(id) + 1)),
+		deliver:      cfg.Deliver,
+		spans:        make(map[int]*genState),
+		marks:        make([]int, maxN),
+		view:         cluster.NewView(id, maxN),
+		now:          now,
+		bootstrapped: !joiner,
+		ring:         cluster.NewBufRing(cluster.DefaultRingCap),
+		m:            m,
 	}
+	for pid, l := range live {
+		if l {
+			nd.view.Mark(pid, now)
+		}
+	}
+	nd.view.SuspectAfter = cfg.suspectAfter()
+	m.Spawned = true
+	m.Live = true
+	return nd
 }
 
 // recv decodes one drained inbox buffer into the rx scratch, absorbs
@@ -185,9 +242,18 @@ func (nd *node) deliverReady() {
 				return
 			}
 		}
+		if nd.delivered == nd.startGen && nd.startGen > 0 && nd.m.CaughtUpTick == 0 && nd.m.CaughtUpAt == 0 {
+			// First delivery of a mid-stream joiner: it has reached the
+			// cluster watermark it learned at join time.
+			if nd.lockstep {
+				nd.m.CaughtUpTick = int(nd.now)
+			} else {
+				nd.m.CaughtUpAt = time.Duration(nd.now)
+			}
+		}
 		nd.delivered++
 		nd.marks[nd.id] = nd.delivered
-		nd.m.Delivered = nd.delivered
+		nd.m.Delivered++
 		if nd.deliver != nil {
 			nd.deliver(nd.id, g, toks)
 		}
@@ -196,11 +262,19 @@ func (nd *node) deliverReady() {
 
 // gc retires every generation below the cluster-wide watermark
 // frontier: their spans are Reset into the pool and the window slides.
+// The frontier is the minimum watermark over this node plus every
+// *eligible* view member — dead or suspected nodes drop out, so a
+// crashed node's forever-stale watermark cannot deadlock retirement;
+// an unsuspected silent node still holds the frontier, which only
+// delays retirement, never corrupts it.
 func (nd *node) gc() {
-	floor := nd.marks[0]
-	for _, w := range nd.marks[1:] {
-		if w < floor {
-			floor = w
+	floor := nd.delivered
+	for id := 0; id < nd.maxN; id++ {
+		if id == nd.id || !nd.view.Eligible(id, nd.now) {
+			continue
+		}
+		if nd.marks[id] < floor {
+			floor = nd.marks[id]
 		}
 	}
 	for g := nd.base; g < floor; g++ {
@@ -219,8 +293,12 @@ func (nd *node) gc() {
 // the window now admits, looping until the state is stable: opening a
 // window generation can decode and deliver it on the spot (a node that
 // sources a whole generation, or n = 1), which moves the frontier and
-// admits the next one.
+// admits the next one. A joiner that has not yet learned the frontier
+// opens nothing.
 func (nd *node) advance() {
+	if !nd.bootstrapped {
+		return
+	}
 	for {
 		prevBase, prevDelivered := nd.base, nd.delivered
 		nd.gc()
@@ -257,17 +335,83 @@ func (nd *node) noteMemory() {
 // self-contained (the n = 1 case decodes everything right here).
 func (nd *node) prime() { nd.advance() }
 
-// done reports whether the node has delivered the whole stream.
-func (nd *node) done() bool { return nd.delivered >= nd.gens }
+// done reports whether the node has delivered the whole stream (from
+// its startGen onward; a joiner's obligation starts at the frontier it
+// learned at join time).
+func (nd *node) done() bool { return nd.bootstrapped && nd.delivered >= nd.gens }
+
+// bootstrap consumes the first watermark gossip a joiner (or a
+// restarted node re-learning the frontier) sees: the highest watermark
+// it knows is the most conservative safe starting point — any
+// generation at or above it cannot have been retired anywhere
+// (retirement needs every member's watermark to exceed it), and once
+// this node's own startGen watermark circulates, the frontier cannot
+// pass it. Generations below startGen were already delivered
+// cluster-wide and may be unobtainable: a joiner skips them, and a
+// persisted-restart node forfeits whatever the cluster retired while
+// it was down (its own persisted watermark is in marks, so it never
+// skips something it could still deliver).
+func (nd *node) bootstrap() {
+	start := 0
+	for _, w := range nd.marks {
+		if w > start {
+			start = w
+		}
+	}
+	if d := nd.delivered; d > start {
+		start = d
+	}
+	if start > nd.gens {
+		start = nd.gens
+	}
+	nd.startGen = start
+	nd.delivered = start
+	nd.marks[nd.id] = start
+	nd.m.StartGen = start
+	// Sweep persisted spans the cluster retired while this node was
+	// down; base only ever moves forward.
+	for g, gs := range nd.spans {
+		if g < start {
+			gs.span.Reset()
+			nd.pool = append(nd.pool, gs.span)
+			delete(nd.spans, g)
+		}
+	}
+	if start > nd.base {
+		nd.base = start
+	}
+	nd.bootstrapped = true
+	nd.advance()
+}
 
 // absorb ingests one packet, reporting whether it changed this node's
-// state (grew a span or advanced a watermark) — the async driver's
-// emit-on-progress trigger. The packet is the caller's reused scratch:
-// everything retained (span rows, watermarks, rank bits) is copied.
+// state (grew a span, advanced a watermark, or bootstrapped a joiner)
+// — the async driver's emit-on-progress trigger. The packet is the
+// caller's reused scratch: everything retained (span rows, watermarks,
+// rank bits, view entries) is copied.
 func (nd *node) absorb(p *wire.Packet) bool {
+	sender := int(p.Env.Sender)
 	switch p.Env.Type {
+	case wire.TypeHello:
+		if p.Hello.Leaving {
+			nd.view.Remove(sender)
+			return false
+		}
+		nd.view.Mark(sender, nd.now)
+		for _, pid := range p.Hello.Peers {
+			// Third-party introductions never refresh a known peer's
+			// stamp (see View.Introduce), or suspicion could never evict
+			// a crashed node that peers keep listing.
+			nd.view.Introduce(int(pid), nd.now)
+		}
+		return false
 	case wire.TypeCoded:
 		nd.m.PacketsIn++
+		nd.view.Mark(sender, nd.now)
+		if !nd.bootstrapped {
+			nd.m.Stale++
+			return false
+		}
 		g := int(p.Env.Epoch)
 		if g < nd.base || g >= nd.gens {
 			nd.m.Stale++
@@ -287,12 +431,28 @@ func (nd *node) absorb(p *wire.Packet) bool {
 		return true
 	case wire.TypeAck:
 		nd.m.AcksIn++
-		changed := nd.mergeMark(int(p.Env.Sender), int(p.Ack.Watermark))
+		nd.view.Mark(sender, nd.now)
+		changed := nd.mergeMark(sender, int(p.Ack.Watermark))
 		for _, pm := range p.Ack.Peers {
 			changed = nd.mergeMark(int(pm.Node), int(pm.Watermark)) || changed
 		}
+		if !nd.bootstrapped {
+			nd.bootstrap()
+			return true
+		}
 		for _, gr := range p.Ack.Ranks {
-			nd.markRank(int(p.Env.Sender), int(gr.Gen), int(gr.Rank))
+			nd.markRank(sender, int(gr.Gen), int(gr.Rank))
+			if nd.churn && int(gr.Rank) < nd.k && int(gr.Gen) < nd.base {
+				// The sender is behind the retirement frontier: it still
+				// needs a generation this node retired. Without churn this
+				// cannot happen (retirement requires every watermark to
+				// have passed the generation), but a joiner can bootstrap
+				// from a stale watermark view that trails what the cluster
+				// has already retired — queue a catch-up serve, or it
+				// would be starved forever (every span is gone and the
+				// origin, being alive, never re-sources).
+				nd.queueServe(sender, int(gr.Gen))
+			}
 		}
 		if changed {
 			nd.advance()
@@ -302,12 +462,55 @@ func (nd *node) absorb(p *wire.Packet) bool {
 	return false
 }
 
+// serveReq is one queued catch-up serve: re-source generation gen
+// directly to peer.
+type serveReq struct {
+	peer, gen int
+}
+
+// queueServe records a catch-up request, deduplicating until the next
+// emission slot drains the queue.
+func (nd *node) queueServe(peer, gen int) {
+	for _, rq := range nd.serveQ {
+		if rq.peer == peer && rq.gen == gen {
+			return
+		}
+	}
+	nd.serveQ = append(nd.serveQ, serveReq{peer: peer, gen: gen})
+}
+
+// serveCatchup re-sources queued retired generations straight from the
+// Source (a pure function, so no span is needed) as plain unit-row
+// coded packets addressed to the straggler. Losses heal themselves:
+// the straggler's next ack still shows partial rank and re-queues the
+// serve.
+func (nd *node) serveCatchup(tr cluster.Transport) {
+	if len(nd.serveQ) == 0 {
+		return
+	}
+	for _, rq := range nd.serveQ {
+		toks := nd.src.Generation(rq.gen)
+		for j := 0; j < nd.k; j++ {
+			nd.tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: uint32(nd.id), Epoch: uint32(rq.gen)}
+			nd.tx.Coded = rlnc.Encode(j, nd.k, cluster.TokenVec(toks[j]))
+			nd.m.PacketsOut++
+			nd.m.BitsOut += int64(nd.tx.Bits())
+			buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+			if !tr.Send(nd.id, rq.peer, buf) {
+				nd.m.Dropped++
+				nd.ring.Put(buf)
+			}
+		}
+	}
+	nd.serveQ = nd.serveQ[:0]
+}
+
 // markRank folds one first-person rank summary entry into the
 // generation's full-rank tally. Ranks never regress, so a set bit is
 // permanent; only live spans are updated (the hint is worthless once
 // the generation retired, and not worth opening a span for).
 func (nd *node) markRank(sender, g, rank int) {
-	if rank < nd.k || sender < 0 || sender >= nd.n || sender == nd.id {
+	if rank < nd.k || sender < 0 || sender >= nd.maxN || sender == nd.id {
 		return
 	}
 	gs, ok := nd.spans[g]
@@ -315,7 +518,7 @@ func (nd *node) markRank(sender, g, rank int) {
 		return
 	}
 	if gs.ackedFull == nil {
-		gs.ackedFull = make([]bool, nd.n)
+		gs.ackedFull = make([]bool, nd.maxN)
 	}
 	if !gs.ackedFull[sender] {
 		gs.ackedFull[sender] = true
@@ -325,7 +528,7 @@ func (nd *node) markRank(sender, g, rank int) {
 
 // mergeMark folds one learned watermark into the view (pointwise max).
 func (nd *node) mergeMark(id, w int) bool {
-	if id < 0 || id >= nd.n || id == nd.id {
+	if id < 0 || id >= nd.maxN || id == nd.id {
 		return false
 	}
 	if w > nd.gens {
@@ -338,21 +541,100 @@ func (nd *node) mergeMark(id, w int) bool {
 	return true
 }
 
+// adoptOrphans re-sources tokens whose origin has left the view or
+// fallen under suspicion: the lowest-id eligible node injects them
+// from the (pure) Source so a generation can never be starved by its
+// origin crashing before it shared anything. Several nodes may
+// transiently disagree about who is lowest and double-inject, which
+// costs nothing (identical rows are non-innovative); what matters is
+// that at least one live node injects. Drivers call this once per
+// tick/interval in churn runs.
+func (nd *node) adoptOrphans() {
+	if !nd.churn || !nd.bootstrapped {
+		return
+	}
+	// Re-evaluate the frontier on the clock, not just on packets:
+	// suspicion is a function of time, so a crashed peer's eviction can
+	// unblock retirement (and open new window generations) at a moment
+	// when no received packet changes any mark — without this, a fully
+	// decoded window with saturated watermarks stalls forever the tick
+	// the frontier's last blocker goes silent.
+	nd.advance()
+	if !nd.lowestEligible() {
+		return
+	}
+	hi := nd.base + nd.window
+	if hi > nd.gens {
+		hi = nd.gens
+	}
+	progressed := false
+	for g := nd.base; g < hi; g++ {
+		gs, ok := nd.spans[g]
+		if !ok || gs.decoded {
+			continue
+		}
+		var toks []token.Token
+		injected := false
+		for j := 0; j < nd.k; j++ {
+			owner := genOwner(g, nd.k, j, nd.n)
+			if owner == nd.id || nd.view.Eligible(owner, nd.now) {
+				continue
+			}
+			if gs.adopted == nil {
+				gs.adopted = make([]bool, nd.k)
+			}
+			if gs.adopted[j] {
+				continue
+			}
+			gs.adopted[j] = true
+			if toks == nil {
+				toks = nd.src.Generation(g)
+			}
+			if gs.span.Add(rlnc.Encode(j, nd.k, cluster.TokenVec(toks[j]))) {
+				injected = true
+			}
+		}
+		if injected {
+			nd.checkDecoded(g, gs)
+			progressed = true
+		}
+	}
+	if progressed {
+		nd.advance()
+	}
+}
+
+// lowestEligible reports whether this node has the smallest id among
+// the currently eligible view members — the deterministic adopter of
+// orphaned origins.
+func (nd *node) lowestEligible() bool {
+	for id := 0; id < nd.id; id++ {
+		if nd.view.Eligible(id, nd.now) {
+			return false
+		}
+	}
+	return true
+}
+
 // emitDataInto draws one fresh coded packet from the active window into
 // the node's tx scratch, round-robining across the generations that
 // have anything to say. A decoded generation keeps recoding for
 // stragglers until it retires.
 func (nd *node) emitDataInto(p *wire.Packet) bool {
+	if !nd.bootstrapped {
+		return false
+	}
 	hi := nd.base + nd.window
 	if hi > nd.gens {
 		hi = nd.gens
 	}
+	audience := nd.view.LiveCount() - 1
 	nd.cands = nd.cands[:0]
 	for g := nd.base; g < hi; g++ {
 		gs := nd.ensureGen(g)
 		// A generation every peer has acked at full rank has no
 		// audience left; skip it without waiting for retirement.
-		if gs.span.Rank() > 0 && gs.ackedCount < nd.n-1 {
+		if gs.span.Rank() > 0 && gs.ackedCount < audience {
 			nd.cands = append(nd.cands, g)
 		}
 	}
@@ -387,6 +669,18 @@ func (nd *node) emitAckInto(p *wire.Packet) {
 			ack.Ranks = append(ack.Ranks, wire.GenRank{Gen: uint32(g), Rank: uint32(gs.span.Rank())})
 		}
 	}
+	if nd.churn && nd.delivered < nd.gens && (nd.delivered < nd.base || nd.delivered >= hi) {
+		// Always advertise the generation this node is actually stuck
+		// on: a straggler whose base lags (it never learned a crashed
+		// peer's watermark, say) would otherwise only report the lagging
+		// window, and the peers that already retired its missing
+		// generation would never learn to serve it back.
+		rank := 0
+		if gs, ok := nd.spans[nd.delivered]; ok {
+			rank = gs.span.Rank()
+		}
+		ack.Ranks = append(ack.Ranks, wire.GenRank{Gen: uint32(nd.delivered), Rank: uint32(rank)})
+	}
 	for i, w := range nd.marks {
 		if i == nd.id {
 			w = nd.delivered
@@ -397,26 +691,33 @@ func (nd *node) emitAckInto(p *wire.Packet) {
 	}
 }
 
-// randPeer picks a uniform peer other than the node itself.
+// randPeer picks a uniform live, unsuspected peer, or -1 when there is
+// none. With a full view it draws exactly as the static runtime did,
+// keeping churnless transcripts bit-identical.
 func (nd *node) randPeer() int {
-	p := nd.rng.Intn(nd.n - 1)
-	if p >= nd.id {
-		p++
-	}
-	return p
+	return nd.view.Pick(nd.rng, nd.now)
 }
 
 // pushData sends up to fanout fresh coded packets to random peers,
-// marshalling each through a recycled ring buffer.
+// marshalling each through a recycled ring buffer. A node with nothing
+// to gossip yet (a joiner awaiting bootstrap) instead announces itself
+// to one random peer in churn runs, so peers keep learning it exists
+// even if its join-time hello burst was lost.
 func (nd *node) pushData(tr cluster.Transport) {
-	if nd.n < 2 {
+	if nd.view.LiveCount() < 2 {
 		return
 	}
+	nd.serveCatchup(tr)
+	sent := false
 	for f := 0; f < nd.fanout; f++ {
 		if !nd.emitDataInto(&nd.tx) {
-			return
+			break
 		}
 		peer := nd.randPeer()
+		if peer < 0 {
+			return
+		}
+		sent = true
 		nd.m.PacketsOut++
 		nd.m.BitsOut += int64(nd.tx.Bits())
 		buf := nd.tx.AppendTo(nd.ring.Get()[:0])
@@ -425,20 +726,60 @@ func (nd *node) pushData(tr cluster.Transport) {
 			nd.ring.Put(buf)
 		}
 	}
+	if !sent && nd.churn {
+		if peer := nd.randPeer(); peer >= 0 {
+			nd.buildHello(false)
+			nd.sendHello(tr, peer)
+		}
+	}
 }
 
-// pushAck sends one progress ack to a random peer.
+// pushAck sends one progress ack to a random peer. A joiner holds its
+// acks until it has bootstrapped: it has no watermark to report yet.
 func (nd *node) pushAck(tr cluster.Transport) {
-	if nd.n < 2 {
+	if nd.view.LiveCount() < 2 || !nd.bootstrapped {
 		return
 	}
 	nd.emitAckInto(&nd.tx)
 	peer := nd.randPeer()
+	if peer < 0 {
+		return
+	}
 	nd.m.AcksOut++
 	nd.m.BitsOut += int64(nd.tx.Bits())
 	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
 	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
 		nd.ring.Put(buf)
+	}
+}
+
+// buildHello fills the tx scratch with a membership announcement
+// carrying the node's current live view.
+func (nd *node) buildHello(leaving bool) {
+	nd.tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeHello, Sender: uint32(nd.id), Epoch: 0}
+	nd.tx.Hello.Leaving = leaving
+	nd.tx.Hello.Peers = nd.view.AppendPeers(nd.tx.Hello.Peers[:0])
+}
+
+// sendHello marshals the tx scratch (built by buildHello) to one peer.
+func (nd *node) sendHello(tr cluster.Transport, peer int) {
+	nd.m.HellosOut++
+	nd.m.BitsOut += int64(nd.tx.Bits())
+	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+	if !tr.Send(nd.id, peer, buf) {
+		nd.m.Dropped++
+		nd.ring.Put(buf)
+	}
+}
+
+// helloAll announces to every peer currently in the view: the
+// join/restart introduction burst, or the graceful-leave goodbye.
+func (nd *node) helloAll(tr cluster.Transport, leaving bool) {
+	nd.buildHello(leaving)
+	for _, pid := range nd.tx.Hello.Peers {
+		if int(pid) != nd.id {
+			nd.sendHello(tr, int(pid))
+		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/token"
+	"repro/internal/wire"
 )
 
 // Source produces the token stream, one generation of K tokens at a
@@ -171,6 +172,42 @@ type Config struct {
 	Interval time.Duration
 	// Timeout caps the async run's wall clock (default 30s).
 	Timeout time.Duration
+	// Churn optionally scripts dynamic membership (see
+	// cluster.ChurnSchedule / cluster.ParseChurn). Nil means the fixed
+	// always-alive membership. Joiners catch up from the retirement
+	// frontier they learn from watermark gossip; the frontier itself
+	// ignores nodes silent for longer than the suspicion threshold so
+	// crashes cannot deadlock retirement.
+	Churn *cluster.ChurnSchedule
+	// SuspectTicks is the silence threshold (in lockstep ticks; async
+	// runs scale it by Interval) after which a peer is dropped from the
+	// retirement frontier and peer sampling. Only used with Churn;
+	// default 50.
+	SuspectTicks int
+}
+
+// maxNodes is the run's node id space: the initial membership plus
+// every id the churn schedule can create.
+func (c Config) maxNodes() int { return c.N + c.Churn.Joins() }
+
+func (c Config) suspectTicks() int {
+	if c.SuspectTicks > 0 {
+		return c.SuspectTicks
+	}
+	return 50
+}
+
+// suspectAfter is the suspicion threshold in view-stamp units: ticks
+// under the lockstep driver, nanoseconds under the async one. Zero
+// (churnless) disables suspicion.
+func (c Config) suspectAfter() int64 {
+	if c.Churn == nil {
+		return 0
+	}
+	if c.Lockstep {
+		return int64(c.suspectTicks())
+	}
+	return int64(time.Duration(c.suspectTicks()) * c.interval())
 }
 
 func (c Config) window() int {
@@ -237,15 +274,36 @@ type NodeMetrics struct {
 	// Innovative counts received coded packets that grew a span.
 	Innovative int64
 	// Stale counts received coded packets for generations already
-	// retired locally.
+	// retired locally (or arriving before a joiner bootstrapped).
 	Stale int64
-	// Delivered is the number of generations handed to the consumer.
+	// HellosOut counts membership announcements sent (bits included in
+	// BitsOut). Always zero without churn.
+	HellosOut int64
+	// Delivered is the number of generations handed to the consumer
+	// (from StartGen onward for joiners).
 	Delivered int
 	Done      bool
 	// DoneTick / DoneAt mark delivery of the final generation
 	// (lockstep tick, async wall time).
 	DoneTick int
 	DoneAt   time.Duration
+	// Spawned marks ids that actually entered the run; Live is the
+	// node's membership at the end (false after a crash or leave).
+	Spawned bool
+	Live    bool
+	// JoinTick / JoinAt stamp the node's latest (re)entry: zero for
+	// founding members.
+	JoinTick int
+	JoinAt   time.Duration
+	// StartGen is where the node's delivery obligation started: 0 for
+	// founding members, the frontier learned at join time for joiners.
+	StartGen int
+	// CaughtUpTick / CaughtUpAt stamp a mid-stream joiner's first
+	// delivery — the moment it reached the cluster watermark it
+	// learned at join time. Zero for founding members. Subtract
+	// JoinTick / JoinAt for the time-to-catch-up.
+	CaughtUpTick int
+	CaughtUpAt   time.Duration
 	// MaxSpanBytes is the peak heap held in live spans — the memory a
 	// node needs no matter how long the stream is; window retirement is
 	// what keeps it bounded.
@@ -256,9 +314,12 @@ type NodeMetrics struct {
 
 // Result reports a finished streaming run.
 type Result struct {
-	// Completed is true when every node delivered all Generations
-	// before the timeout / tick cap.
+	// Completed is true when every live node delivered the stream
+	// through Generations (from its StartGen onward) and every
+	// scheduled join/restart was applied, before the timeout/tick cap.
 	Completed bool
+	// FinalLive counts the nodes live at the end of the run.
+	FinalLive int
 	// Elapsed is the async wall clock (also set, informationally, for
 	// lockstep runs).
 	Elapsed time.Duration
@@ -302,8 +363,9 @@ func (r *Result) DoneTimes() []float64 {
 }
 
 // Run streams cfg.Generations generations of cfg.K tokens across an
-// n-node gossip cluster until every node has decoded and delivered the
-// whole stream in order, the context is canceled, the timeout expires,
+// n-node gossip cluster until every live node has decoded and
+// delivered the whole stream in order (joiners from the frontier they
+// learned at join time), the context is canceled, the timeout expires,
 // or the lockstep tick cap is hit. Every delivered generation is
 // verified against the Source before Run returns it to the consumer.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
@@ -316,10 +378,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("stream: need at least 1 payload bit, got %d", cfg.PayloadBits)
 	case cfg.Generations < 1:
 		return nil, fmt.Errorf("stream: need at least 1 generation, got %d", cfg.Generations)
+	case uint64(cfg.Generations) > wire.MaxEpoch: // Generations >= 1 here; uint64 keeps 32-bit builds compiling
+		// The generation number rides the 32-bit wire epoch; beyond it,
+		// generation g and g+2^32 would alias in ack/rank bookkeeping
+		// (the constructors panic rather than wrap — shard the stream).
+		return nil, fmt.Errorf("stream: %d generations exceed the 32-bit wire epoch space (%d)", cfg.Generations, uint64(wire.MaxEpoch))
 	case cfg.Window < 0:
 		return nil, fmt.Errorf("stream: negative window %d", cfg.Window)
 	case cfg.Fanout < 0:
 		return nil, fmt.Errorf("stream: negative fanout %d", cfg.Fanout)
+	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 
 	src := cfg.source()
@@ -327,24 +397,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("stream: source produced %d tokens per generation, want K=%d", len(toks), cfg.K)
 	}
 
+	maxN := cfg.maxNodes()
 	tr := cfg.Transport
 	if tr == nil {
-		tr = cluster.NewChanTransport(cfg.N, InboxBuffer(cfg.N, cfg.fanout()))
+		extra := 0
+		if cfg.Churn != nil {
+			extra = 1 // hello headroom; see cluster.InboxBuffer
+		}
+		tr = cluster.NewChanTransport(maxN, InboxBuffer(maxN, cfg.fanout()+extra))
 	}
 	defer tr.Close()
 
-	res := &Result{Nodes: make([]NodeMetrics, cfg.N)}
-	nodes := make([]*node, cfg.N)
+	res := &Result{Nodes: make([]NodeMetrics, maxN)}
+	sr := &streamRun{
+		cfg:   cfg,
+		src:   src,
+		tr:    tr,
+		res:   res,
+		maxN:  maxN,
+		nodes: make([]*node, maxN),
+		live:  make([]bool, maxN),
+		ch:    cluster.NewChurner(cfg.Churn, cfg.N, maxN, cfg.Seed),
+	}
 	for i := 0; i < cfg.N; i++ {
-		nodes[i] = newNode(i, cfg, src, &res.Nodes[i])
+		sr.live[i] = true
+	}
+	for i := 0; i < cfg.N; i++ {
+		sr.nodes[i] = newNode(i, cfg, src, &res.Nodes[i], sr.live, 0, false)
 	}
 
 	start := time.Now()
 	var err error
 	if cfg.Lockstep {
-		err = runLockstep(ctx, cfg, tr, nodes, res)
+		err = sr.runLockstep(ctx)
 	} else {
-		err = runAsync(ctx, cfg, tr, nodes, res, start)
+		err = sr.runAsync(ctx, start)
 	}
 	res.Elapsed = time.Since(start)
 
@@ -357,6 +444,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.TokensDelivered += int64(m.Delivered) * int64(cfg.K)
 		if m.MaxSpanBytes > res.MaxSpanBytes {
 			res.MaxSpanBytes = m.MaxSpanBytes
+		}
+		if m.Live {
+			res.FinalLive++
 		}
 	}
 	return res, err

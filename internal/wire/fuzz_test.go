@@ -38,10 +38,13 @@ func FuzzWireRoundTrip(f *testing.F) {
 		Ranks:     []GenRank{{Gen: 4, Rank: 3}, {Gen: 5, Rank: 0}},
 		Peers:     []PeerMark{{Node: 0, Watermark: 4}, {Node: 1, Watermark: 6}},
 	}).Marshal()
+	seedHello := NewHello(4, 1, Hello{Leaving: true, Peers: []uint32{0, 2, 5}}).Marshal()
 	f.Add(seedCoded)
 	f.Add(seedToken)
 	f.Add(seedAck)
+	f.Add(seedHello)
 	f.Add(NewAck(0, 0, Ack{}).Marshal())
+	f.Add(NewHello(0, 0, Hello{}).Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{Version, byte(TypeCoded), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
@@ -89,7 +92,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		epoch := int(binary.LittleEndian.Uint32(data[4:8]) % (1 << 20))
 		bits := int(data[8]) + int(data[9]) // 0..510
 		body := data[12:]
-		switch data[10] % 3 {
+		switch data[10] % 4 {
 		case 0:
 			k := bits / 2
 			vec := bitsFrom(body, bits)
@@ -97,6 +100,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 		case 1:
 			uid := token.UID(binary.LittleEndian.Uint64(data[0:8]))
 			p = NewToken(sender, epoch, token.Token{UID: uid, Payload: bitsFrom(body, bits)})
+		case 3:
+			h := Hello{Leaving: data[11]&1 == 1}
+			for i := 0; i+4 <= len(body) && i < 4*16; i += 4 {
+				h.Peers = append(h.Peers, binary.LittleEndian.Uint32(body[i:i+4]))
+			}
+			p = NewHello(sender, epoch, h)
 		default:
 			a := Ack{Watermark: uint32(data[11])}
 			for i := 0; i+8 <= len(body) && i < 8*16; i += 8 {
@@ -135,6 +144,10 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if got.Ack.Watermark != p.Ack.Watermark ||
 				len(got.Ack.Ranks) != len(p.Ack.Ranks) || len(got.Ack.Peers) != len(p.Ack.Peers) {
 				t.Fatal("ack body changed")
+			}
+		case TypeHello:
+			if got.Hello.Leaving != p.Hello.Leaving || len(got.Hello.Peers) != len(p.Hello.Peers) {
+				t.Fatal("hello body changed")
 			}
 		}
 		if !bytes.Equal(got.Marshal(), p.Marshal()) {

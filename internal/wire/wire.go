@@ -1,8 +1,9 @@
 // Package wire is the compact binary codec for the cluster and stream
 // runtimes' protocol messages: network-coded packets (rlnc.Coded), raw
 // tokens (token.Token, for the store-and-forward baseline), streaming
-// progress acknowledgements (Ack), and a small envelope header carrying
-// version, message type, sender and epoch.
+// progress acknowledgements (Ack), membership announcements (Hello),
+// and a small envelope header carrying version, message type, sender
+// and epoch.
 //
 // The codec is the serialization boundary between the synchronous
 // simulator world (in-memory Message values whose cost is their Bits()
@@ -25,7 +26,7 @@
 //
 //	offset  size  field
 //	0       1     version (currently 1)
-//	1       1     type (1 = coded, 2 = token)
+//	1       1     type (1 = coded, 2 = token, 3 = ack, 4 = hello)
 //	2       4     sender (uint32 node id)
 //	6       4     epoch (uint32 sender-local sequence/round)
 //
@@ -36,6 +37,16 @@
 //	ack:    uint32 watermark,
 //	        uint32 nRanks,  nRanks × (uint32 gen, uint32 rank),
 //	        uint32 nPeers,  nPeers × (uint32 node, uint32 watermark)
+//	hello:  uint8 flags (0 = announce, 1 = leave; others rejected),
+//	        uint32 nPeers,  nPeers × uint32 node
+//
+// Wrap policy: Sender and Epoch are 32-bit on the wire and do NOT wrap.
+// The constructors (NewCoded, NewToken, NewAck, NewHello) panic on a
+// sender or epoch outside [0, MaxUint32] instead of silently truncating
+// the int — aliasing epoch g with g+2^32 would corrupt ack and rank
+// bookkeeping on long streams. Callers that stream more than 2^32
+// generations must shard onto a fresh stream (internal/stream validates
+// Config.Generations against MaxEpoch up front).
 package wire
 
 import (
@@ -79,12 +90,25 @@ const (
 	// delivery watermark, the control traffic that lets internal/stream
 	// retire fully-decoded generations and advance the window.
 	TypeAck Type = 3
+	// TypeHello is a membership announcement: a joining (or gracefully
+	// leaving) node tells peers it exists (or is going away) and shares
+	// its current live-peer view, the control traffic that lets the
+	// cluster and stream runtimes run with dynamic membership.
+	TypeHello Type = 4
 )
 
 // MaxAckEntries caps the list lengths the decoder accepts in an ack
-// body. Like MaxVecBits it only bounds decoder work on adversarial
-// input; real acks carry a handful of entries.
+// or hello body. Like MaxVecBits it only bounds decoder work on
+// adversarial input; real acks carry a handful of entries.
 const MaxAckEntries = 1 << 16
+
+// MaxSender and MaxEpoch are the largest envelope values the 32-bit
+// wire fields can carry. The constructors panic beyond them rather
+// than alias (see the wrap policy in the package comment).
+const (
+	MaxSender = 1<<32 - 1
+	MaxEpoch  = 1<<32 - 1
+)
 
 var (
 	// ErrTruncated is wrapped by errors for packets shorter than their
@@ -141,6 +165,19 @@ type Ack struct {
 // accounting: the watermark plus each 2×uint32 list entry.
 func (a Ack) Bits() int { return 32 + 64*(len(a.Ranks)+len(a.Peers)) }
 
+// Hello is the membership control body. Leaving distinguishes a
+// graceful departure announcement from a join/alive announcement;
+// Peers is the sender's current live-peer view, which receivers merge
+// into their own so membership spreads transitively at gossip speed.
+type Hello struct {
+	Leaving bool
+	Peers   []uint32
+}
+
+// Bits returns the body's information content under the simulator's
+// accounting: the flag byte plus one uint32 per listed peer.
+func (h Hello) Bits() int { return 8 + 32*len(h.Peers) }
+
 // Packet is one decoded protocol message: the envelope plus exactly one
 // of the type-specific bodies (selected by Env.Type).
 type Packet struct {
@@ -151,30 +188,49 @@ type Packet struct {
 	Token token.Token
 	// Ack is valid iff Env.Type == TypeAck.
 	Ack Ack
+	// Hello is valid iff Env.Type == TypeHello.
+	Hello Hello
 }
 
-// NewCoded wraps a coded message in a versioned envelope.
+// envelope builds the versioned header, enforcing the no-wrap policy:
+// a sender or epoch the 32-bit wire fields cannot represent is a
+// programming error (like marshaling an unknown type), not a wire
+// condition, so it panics instead of aliasing value v with v+2^32.
+func envelope(t Type, sender, epoch int) Envelope {
+	// Compared in uint64 so the package still compiles where int is 32
+	// bits (there the out-of-range half is simply unreachable).
+	if sender < 0 || uint64(sender) > MaxSender {
+		panic(fmt.Sprintf("wire: sender %d outside the 32-bit wire range", sender))
+	}
+	if epoch < 0 || uint64(epoch) > MaxEpoch {
+		panic(fmt.Sprintf("wire: epoch %d outside the 32-bit wire range", epoch))
+	}
+	return Envelope{Version: Version, Type: t, Sender: uint32(sender), Epoch: uint32(epoch)}
+}
+
+// NewCoded wraps a coded message in a versioned envelope. It panics on
+// a sender or epoch outside the 32-bit wire range (see the wrap policy
+// in the package comment).
 func NewCoded(sender, epoch int, c rlnc.Coded) Packet {
-	return Packet{
-		Env:   Envelope{Version: Version, Type: TypeCoded, Sender: uint32(sender), Epoch: uint32(epoch)},
-		Coded: c,
-	}
+	return Packet{Env: envelope(TypeCoded, sender, epoch), Coded: c}
 }
 
-// NewToken wraps a raw token in a versioned envelope.
+// NewToken wraps a raw token in a versioned envelope. It panics on a
+// sender or epoch outside the 32-bit wire range.
 func NewToken(sender, epoch int, t token.Token) Packet {
-	return Packet{
-		Env:   Envelope{Version: Version, Type: TypeToken, Sender: uint32(sender), Epoch: uint32(epoch)},
-		Token: t,
-	}
+	return Packet{Env: envelope(TypeToken, sender, epoch), Token: t}
 }
 
-// NewAck wraps a streaming acknowledgement in a versioned envelope.
+// NewAck wraps a streaming acknowledgement in a versioned envelope. It
+// panics on a sender or epoch outside the 32-bit wire range.
 func NewAck(sender, epoch int, a Ack) Packet {
-	return Packet{
-		Env: Envelope{Version: Version, Type: TypeAck, Sender: uint32(sender), Epoch: uint32(epoch)},
-		Ack: a,
-	}
+	return Packet{Env: envelope(TypeAck, sender, epoch), Ack: a}
+}
+
+// NewHello wraps a membership announcement in a versioned envelope. It
+// panics on a sender or epoch outside the 32-bit wire range.
+func NewHello(sender, epoch int, h Hello) Packet {
+	return Packet{Env: envelope(TypeHello, sender, epoch), Hello: h}
 }
 
 // Bits returns the wrapped message's size under the simulator's
@@ -189,6 +245,8 @@ func (p Packet) Bits() int {
 		return p.Token.Bits()
 	case TypeAck:
 		return p.Ack.Bits()
+	case TypeHello:
+		return p.Hello.Bits()
 	}
 	return 0
 }
@@ -202,6 +260,8 @@ func (p Packet) WireBytes() int {
 		return HeaderBytes + 12 + (p.Token.Payload.Len()+7)/8
 	case TypeAck:
 		return HeaderBytes + 12 + 8*(len(p.Ack.Ranks)+len(p.Ack.Peers))
+	case TypeHello:
+		return HeaderBytes + 5 + 4*len(p.Hello.Peers)
 	}
 	return HeaderBytes
 }
@@ -244,6 +304,16 @@ func (p Packet) AppendTo(buf []byte) []byte {
 		for _, pm := range p.Ack.Peers {
 			out = binary.LittleEndian.AppendUint32(out, pm.Node)
 			out = binary.LittleEndian.AppendUint32(out, pm.Watermark)
+		}
+	case TypeHello:
+		var flags byte
+		if p.Hello.Leaving {
+			flags = 1
+		}
+		out = append(out, flags)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Hello.Peers)))
+		for _, id := range p.Hello.Peers {
+			out = binary.LittleEndian.AppendUint32(out, id)
 		}
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown type %d", p.Env.Type))
@@ -356,6 +426,29 @@ func UnmarshalInto(p *Packet, data []byte) error {
 				Node:      binary.LittleEndian.Uint32(rest[8*i:]),
 				Watermark: binary.LittleEndian.Uint32(rest[8*i+4:]),
 			})
+		}
+		p.Env = env
+		return nil
+	case TypeHello:
+		if len(body) < 5 {
+			return fmt.Errorf("%w: hello body %d bytes < 5", ErrTruncated, len(body))
+		}
+		if body[0] > 1 {
+			return fmt.Errorf("%w: hello flags %d (only 0/1 defined)", ErrMalformed, body[0])
+		}
+		nPeers := binary.LittleEndian.Uint32(body[1:5])
+		if nPeers > MaxAckEntries {
+			return fmt.Errorf("%w: hello peer count %d exceeds cap", ErrMalformed, nPeers)
+		}
+		rest := body[5:]
+		if uint64(len(rest)) != 4*uint64(nPeers) {
+			return fmt.Errorf("%w: %d trailing hello bytes for %d peer entries (want %d)", ErrMalformed, len(rest), nPeers, 4*uint64(nPeers))
+		}
+		h := &p.Hello
+		h.Leaving = body[0] == 1
+		h.Peers = h.Peers[:0]
+		for i := 0; i < int(nPeers); i++ {
+			h.Peers = append(h.Peers, binary.LittleEndian.Uint32(rest[4*i:]))
 		}
 		p.Env = env
 		return nil

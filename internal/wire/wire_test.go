@@ -6,6 +6,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"repro/internal/dynnet"
@@ -109,6 +110,103 @@ func TestAckUnmarshalRejects(t *testing.T) {
 	}
 }
 
+func TestHelloRoundTrip(t *testing.T) {
+	hellos := []Hello{
+		{},
+		{Leaving: true},
+		{Peers: []uint32{0, 3, 9}},
+		{Leaving: true, Peers: []uint32{7}},
+	}
+	for i, h := range hellos {
+		p := NewHello(i, i*3, h)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("hello %d: %v", i, err)
+		}
+		if got.Env != p.Env {
+			t.Errorf("hello %d: envelope mismatch", i)
+		}
+		if !reflect.DeepEqual(got.Hello, h) {
+			t.Errorf("hello %d: body %+v does not round-trip to %+v", i, h, got.Hello)
+		}
+		if want := 8 + 32*len(h.Peers); p.Bits() != want {
+			t.Errorf("hello %d: Bits %d, want %d", i, p.Bits(), want)
+		}
+		if want := HeaderBytes + 5 + 4*len(h.Peers); len(p.Marshal()) != want || p.WireBytes() != want {
+			t.Errorf("hello %d: wire size %d (WireBytes %d), want %d", i, len(p.Marshal()), p.WireBytes(), want)
+		}
+	}
+}
+
+func TestHelloUnmarshalRejects(t *testing.T) {
+	good := NewHello(1, 2, Hello{Peers: []uint32{4, 5}}).Marshal()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short body", good[:HeaderBytes+3], ErrTruncated},
+		{"peer list truncated", good[:len(good)-1], ErrMalformed},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Undefined flag bits are rejected: the canonical encoding uses only
+	// 0 (announce) and 1 (leave).
+	for _, flags := range []byte{2, 3, 0x80, 0xff} {
+		bad := append([]byte(nil), good...)
+		bad[HeaderBytes] = flags
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("flags %#x accepted: %v", flags, err)
+		}
+	}
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(huge[HeaderBytes+1:], MaxAckEntries+1)
+	if _, err := Unmarshal(huge); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized peer count accepted: %v", err)
+	}
+}
+
+// TestEnvelopeRangePanics pins the no-wrap policy: a sender or epoch
+// the 32-bit wire fields cannot carry must panic in the constructor
+// instead of silently truncating, so generation g and g+2^32 can never
+// alias in ack/rank bookkeeping (the long-stream corruption this
+// regression test exists for).
+func TestEnvelopeRangePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic for out-of-range envelope value", name)
+			}
+		}()
+		f()
+	}
+	tok := token.Token{Payload: gf.NewBitVec(0)}
+	mustPanic("epoch negative", func() { NewAck(0, -1, Ack{}) })
+	mustPanic("sender negative", func() { NewCoded(-1, 0, rlnc.Coded{K: 0, Vec: gf.NewBitVec(0)}) })
+	if strconv.IntSize < 64 {
+		t.Skip("values beyond the 32-bit wire range are unrepresentable in int on this platform")
+	}
+	// Computed at runtime so the test still compiles where int is 32
+	// bits (the constant 2^32 would overflow at compile time).
+	var over64 int64 = 1 << 32
+	over := int(over64)
+	mustPanic("epoch 2^32", func() { NewToken(0, over, tok) })
+	mustPanic("sender 2^32", func() { NewHello(over, 0, Hello{}) })
+
+	// The extremes of the representable range still alias-proof: they
+	// marshal and round-trip unchanged.
+	p := NewToken(over-1, over-1, tok)
+	got, err := Unmarshal(p.Marshal())
+	if err != nil || got.Env.Sender != MaxSender || got.Env.Epoch != MaxEpoch {
+		t.Errorf("max envelope values did not round-trip: %+v, %v", got.Env, err)
+	}
+}
+
 // TestGoldenWireBytes pins the exact byte layout of every packet type —
 // version/type/sender/epoch envelope offsets and each body — so a codec
 // change that would break cross-version compatibility fails this test
@@ -151,6 +249,20 @@ func TestGoldenWireBytes(t *testing.T) {
 				0x03, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, // uid = owner 2 << 32 | seq 3
 				0x09, 0x00, 0x00, 0x00, // payloadBits = 9
 				0x01, 0x01, // bits 0 and 8
+			},
+		},
+		{
+			"hello",
+			NewHello(9, 10, Hello{Leaving: true, Peers: []uint32{2, 0x01020304}}),
+			[]byte{
+				0x01,                   // version
+				0x04,                   // type = hello
+				0x09, 0x00, 0x00, 0x00, // sender
+				0x0a, 0x00, 0x00, 0x00, // epoch
+				0x01,                   // flags: leaving
+				0x02, 0x00, 0x00, 0x00, // 2 peer entries
+				0x02, 0x00, 0x00, 0x00, // peer 2
+				0x04, 0x03, 0x02, 0x01, // peer 0x01020304, little-endian
 			},
 		},
 		{
@@ -322,6 +434,7 @@ func samplePackets(t *testing.T) []Packet {
 			Ranks:     []GenRank{{Gen: 6, Rank: 12}, {Gen: 7, Rank: 3}},
 			Peers:     []PeerMark{{Node: 0, Watermark: 6}, {Node: 3, Watermark: 5}},
 		}),
+		NewHello(5, 0, Hello{Leaving: true, Peers: []uint32{1, 4, 6}}),
 	}
 }
 

@@ -4,8 +4,8 @@
 # committed allocation baseline.
 #
 #   scripts/bench.sh            # run benches, print output, gate against
-#                               # BENCH_PR4.json (what CI does)
-#   scripts/bench.sh --write    # run benches and rewrite BENCH_PR4.json
+#                               # BENCH_PR5.json (what CI does)
+#   scripts/bench.sh --write    # run benches and rewrite BENCH_PR5.json
 #                               # (do this when a PR intentionally moves
 #                               # the allocation floor, and commit it)
 #
@@ -23,7 +23,7 @@ trap 'rm -f "$OUT"' EXIT
 go test -run xxx -bench . -benchtime 1x -benchmem ./... | tee "$OUT"
 
 if [[ "${1:-}" == "--write" ]]; then
-  go run ./cmd/benchguard -write -out BENCH_PR4.json < "$OUT"
+  go run ./cmd/benchguard -write -out BENCH_PR5.json < "$OUT"
 else
-  go run ./cmd/benchguard -baseline BENCH_PR4.json < "$OUT"
+  go run ./cmd/benchguard -baseline BENCH_PR5.json < "$OUT"
 fi
