@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -412,6 +413,34 @@ func BenchmarkStreamSustained(b *testing.B) {
 	b.ReportMetric(float64(k*gens)/float64(ticks), "tokens/tick")
 	b.ReportMetric(bitsPerTok, "bits/token")
 	b.ReportMetric(spanPeak, "span-bytes/node")
+}
+
+// BenchmarkStreamWindowSweep exposes the window axis as b.Run
+// sub-benchmarks so each window's allocation budget is guarded
+// separately: benchguard keys entries by the /-qualified name
+// (e.g. BenchmarkStreamWindowSweep/W=4), stripping only the trailing
+// GOMAXPROCS suffix. W=1 is the sequential baseline, W=4 the
+// pipelined configuration the streaming layer is accountable for.
+func BenchmarkStreamWindowSweep(b *testing.B) {
+	const n, k, d, gens = 8, 8, 64, 4
+	ctx := context.Background()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := stream.Run(ctx, stream.Config{
+					N: n, K: k, PayloadBits: d, Window: w, Generations: gens,
+					Seed: int64(i), Lockstep: true, MaxTicks: 500000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("stream incomplete")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWireRoundTrip times the codec on a cluster-sized coded

@@ -6,151 +6,113 @@
 // Two modes:
 //
 //	go test -run xxx -bench . -benchtime 1x -benchmem ./... |
-//	    benchguard -write -out BENCH_PR5.json
+//	    benchguard -write
 //	        # regenerate the committed baseline from a bench run
 //
 //	go test -run xxx -bench . -benchtime 1x -benchmem ./... |
-//	    benchguard -baseline BENCH_PR5.json -max-regress 0.20 \
+//	    benchguard -max-regress 0.20 \
 //	        -guard BenchmarkEngineRound,BenchmarkWireRoundTrip,...
 //	        # CI gate: exit 1 on a >20% allocs/op regression
 //
+// The baseline defaults to the newest committed BENCH_PR<n>.json in
+// the current directory (highest n), resolved by
+// benchfmt.LatestBaseline — rotating the baseline means committing one
+// new file, with no flag or script edits. -baseline/-out override it.
+//
 // Only benchmarks that report allocations (b.ReportAllocs or
-// -benchmem) appear in the parse. Comparison is by base benchmark name
-// with the -N cpu suffix stripped.
+// -benchmem) appear in the parse; `/`-qualified sub-benchmark names
+// (b.Run) are kept, with only the trailing -N cpu suffix stripped.
+// Exit status: 1 on a gate failure, 2 on unusable input (unreadable
+// baseline, garbled bench line, no benchmarks on stdin).
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"regexp"
-	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Entry is one benchmark's recorded figures.
-type Entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-}
-
-// Baseline is the committed BENCH_*.json document.
-type Baseline struct {
-	// Note documents how the numbers were produced.
-	Note       string           `json:"note"`
-	Benchmarks map[string]Entry `json:"benchmarks"`
-}
-
-var benchLine = regexp.MustCompile(`^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
-var metricRe = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
-
-func parse(r *bufio.Scanner) (map[string]Entry, error) {
-	out := map[string]Entry{}
-	for r.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(r.Text()))
-		if m == nil {
-			continue
-		}
-		e := Entry{}
-		e.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
-		hasAllocs := false
-		for _, mm := range metricRe.FindAllStringSubmatch(m[3], -1) {
-			v, _ := strconv.ParseFloat(mm[1], 64)
-			switch mm[2] {
-			case "B/op":
-				e.BytesPerOp = v
-			case "allocs/op":
-				e.AllocsPerOp = v
-				hasAllocs = true
-			}
-		}
-		if hasAllocs {
-			out[m[1]] = e
-		}
-	}
-	return out, r.Err()
-}
-
 func main() {
-	write := flag.Bool("write", false, "emit a baseline JSON from the bench output instead of comparing")
-	out := flag.String("out", "BENCH_PR5.json", "baseline file to write in -write mode")
-	note := flag.String("note", "go test -run xxx -bench . -benchtime 1x -benchmem ./... (see scripts/bench.sh)", "provenance note stored in the baseline")
-	baselinePath := flag.String("baseline", "BENCH_PR5.json", "committed baseline to compare against")
-	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional allocs/op growth before failing")
-	guard := flag.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState,BenchmarkChurnSteadyState",
-		"comma-separated benchmarks the gate enforces")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	cur, err := parse(bufio.NewScanner(os.Stdin))
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		write      = fs.Bool("write", false, "emit a baseline JSON from the bench output instead of comparing")
+		out        = fs.String("out", "", "baseline file to write in -write mode (default: the resolved current baseline)")
+		note       = fs.String("note", "go test -run xxx -bench . -benchtime 1x -benchmem ./... (see scripts/bench.sh)", "provenance note stored in the baseline")
+		baseline   = fs.String("baseline", "", "committed baseline to compare against (default: newest BENCH_PR*.json)")
+		maxRegress = fs.Float64("max-regress", 0.20, "allowed fractional allocs/op growth before failing")
+		guard      = fs.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState,BenchmarkChurnSteadyState,BenchmarkStreamWindowSweep/W=4",
+			"comma-separated benchmarks the gate enforces")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cur, err := benchfmt.Parse(stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard: reading bench output:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchguard: reading bench output:", err)
+		return 2
 	}
 	if len(cur) == 0 {
-		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines with allocs/op found on stdin")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchguard: no benchmark lines with allocs/op found on stdin")
+		return 2
 	}
 
 	if *write {
-		doc := Baseline{Note: *note, Benchmarks: cur}
-		data, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchguard:", err)
-			os.Exit(2)
+		path := *out
+		if path == "" {
+			if path, err = benchfmt.LatestBaseline("."); err != nil {
+				fmt.Fprintln(stderr, "benchguard:", err)
+				return 2
+			}
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchguard:", err)
-			os.Exit(2)
+		if err := benchfmt.WriteBaseline(path, &benchfmt.Baseline{Note: *note, Benchmarks: cur}); err != nil {
+			fmt.Fprintln(stderr, "benchguard:", err)
+			return 2
 		}
-		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(cur), *out)
-		return
+		fmt.Fprintf(stdout, "benchguard: wrote %d benchmarks to %s\n", len(cur), path)
+		return 0
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
+	path := *baseline
+	if path == "" {
+		if path, err = benchfmt.LatestBaseline("."); err != nil {
+			fmt.Fprintln(stderr, "benchguard:", err)
+			return 2
+		}
+	}
+	base, err := benchfmt.ReadBaseline(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
-	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard: parsing baseline:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchguard:", err)
+		return 2
 	}
 
-	failed := false
-	for _, name := range strings.Split(*guard, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	comps, ok := benchfmt.Compare(base.Benchmarks, cur, strings.Split(*guard, ","), *maxRegress)
+	for _, c := range comps {
+		switch {
+		case c.MissingBaseline:
+			fmt.Fprintf(stdout, "benchguard: FAIL %s: missing from baseline %s\n", c.Name, path)
+		case c.MissingCurrent:
+			fmt.Fprintf(stdout, "benchguard: FAIL %s: missing from current bench output\n", c.Name)
+		default:
+			status := "ok"
+			if !c.OK {
+				status = "FAIL"
+			}
+			fmt.Fprintf(stdout, "benchguard: %-4s %-34s allocs/op %10.1f -> %10.1f (limit %.1f)  ns/op %12.0f -> %12.0f\n",
+				status, c.Name, c.Base.AllocsPerOp, c.Cur.AllocsPerOp, c.Limit, c.Base.NsPerOp, c.Cur.NsPerOp)
 		}
-		b, okB := base.Benchmarks[name]
-		c, okC := cur[name]
-		if !okB {
-			fmt.Printf("benchguard: FAIL %s: missing from baseline %s\n", name, *baselinePath)
-			failed = true
-			continue
-		}
-		if !okC {
-			fmt.Printf("benchguard: FAIL %s: missing from current bench output\n", name)
-			failed = true
-			continue
-		}
-		// An allowance of +1 alloc absorbs integer jitter around tiny
-		// baselines (a 0-alloc benchmark may legitimately warm a lazily
-		// initialized runtime structure once under -benchtime 1x).
-		limit := b.AllocsPerOp*(1+*maxRegress) + 1
-		status := "ok"
-		if c.AllocsPerOp > limit {
-			status = "FAIL"
-			failed = true
-		}
-		fmt.Printf("benchguard: %-4s %-34s allocs/op %10.1f -> %10.1f (limit %.1f)  ns/op %12.0f -> %12.0f\n",
-			status, name, b.AllocsPerOp, c.AllocsPerOp, limit, b.NsPerOp, c.NsPerOp)
 	}
-	if failed {
-		os.Exit(1)
+	if !ok {
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkEngineRound-8   	 1	 101048 ns/op	 45192 B/op	 883 allocs/op
+BenchmarkStream/W=4-8    	 1	 5335233 ns/op	 735528 B/op	 8618 allocs/op
+PASS
+`
+
+// exec runs the CLI with stdin text and returns exit code + output.
+func exec(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestWriteThenGateSubBenchmark drives the full CLI loop: regenerate a
+// baseline containing a parameterized sub-benchmark, gate the same
+// output against it (pass), then gate a regressed run (fail, exit 1).
+func TestWriteThenGateSubBenchmark(t *testing.T) {
+	t.Chdir(t.TempDir())
+	code, out, errOut := exec(t, []string{"-write", "-out", "BENCH_PR6.json"}, benchOutput)
+	if code != 0 {
+		t.Fatalf("write exited %d: %s%s", code, out, errOut)
+	}
+	raw, err := os.ReadFile("BENCH_PR6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "BenchmarkStream/W=4") {
+		t.Fatalf("sub-benchmark missing from written baseline:\n%s", raw)
+	}
+
+	guard := []string{"-guard", "BenchmarkEngineRound,BenchmarkStream/W=4"}
+	if code, out, _ := exec(t, guard, benchOutput); code != 0 {
+		t.Fatalf("identical run failed the gate (exit %d):\n%s", code, out)
+	}
+
+	regressed := strings.Replace(benchOutput, "8618 allocs/op", "99999 allocs/op", 1)
+	code, out, _ = exec(t, guard, regressed)
+	if code != 1 {
+		t.Fatalf("regressed sub-benchmark exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "BenchmarkStream/W=4") {
+		t.Errorf("failure output does not name the regressed sub-benchmark:\n%s", out)
+	}
+}
+
+// TestAutoResolvesNewestBaseline pins the glob resolution: with PR5
+// and PR7 baselines present and no -baseline flag, the gate compares
+// against PR7.
+func TestAutoResolvesNewestBaseline(t *testing.T) {
+	t.Chdir(t.TempDir())
+	// PR5 would pass; PR7 has a tighter (lower) baseline that fails.
+	old := `{"benchmarks":{"BenchmarkEngineRound":{"allocs_per_op":100000}}}`
+	cur := `{"benchmarks":{"BenchmarkEngineRound":{"allocs_per_op":10}}}`
+	if err := os.WriteFile("BENCH_PR5.json", []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR7.json", []byte(cur), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := exec(t, []string{"-guard", "BenchmarkEngineRound"}, benchOutput)
+	if code != 1 {
+		t.Fatalf("gate against auto-resolved PR7 exited %d, want 1:\n%s", code, out)
+	}
+}
+
+func TestGarbledLineExits2(t *testing.T) {
+	t.Chdir(t.TempDir())
+	garbled := "BenchmarkFoo-8  1  1.2.3 ns/op  0 B/op  1 allocs/op\n"
+	code, _, errOut := exec(t, nil, garbled)
+	if code != 2 {
+		t.Fatalf("garbled input exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "BenchmarkFoo") {
+		t.Errorf("stderr does not quote the offending line: %s", errOut)
+	}
+}
+
+func TestNoBenchmarksExits2(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if code, _, _ := exec(t, nil, "PASS\n"); code != 2 {
+		t.Errorf("empty bench input exited %d, want 2", code)
+	}
+}
+
+func TestMissingBaselineDirExits2(t *testing.T) {
+	t.Chdir(t.TempDir())
+	code, _, errOut := exec(t, nil, benchOutput)
+	if code != 2 || !strings.Contains(errOut, "BENCH_PR") {
+		t.Errorf("no baseline present: exit %d, stderr %q; want 2 naming the glob", code, errOut)
+	}
+}
+
+func TestExplicitBaselineFlagStillWins(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+	pass := `{"benchmarks":{"BenchmarkEngineRound":{"allocs_per_op":900}}}`
+	path := filepath.Join(dir, "custom.json")
+	if err := os.WriteFile(path, []byte(pass), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := exec(t, []string{"-baseline", path, "-guard", "BenchmarkEngineRound"}, benchOutput)
+	if code != 0 {
+		t.Errorf("explicit -baseline gate exited %d:\n%s", code, out)
+	}
+}

@@ -15,6 +15,7 @@ type runArgs struct {
 	fanout          int
 	mode, tp        string
 	seed            int64
+	delay           time.Duration
 	reorder         float64
 	buffer, maxTick int
 	churn           string
@@ -29,7 +30,7 @@ func (a runArgs) run(w io.Writer) error {
 		w = io.Discard
 	}
 	return run(w, a.n, a.k, a.payload, a.loss, a.fanout, a.mode, a.tp, a.seed,
-		500*time.Microsecond, 30*time.Second, 0, a.reorder, a.buffer, a.maxTick, a.churn)
+		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -50,6 +51,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"loss one", func(a *runArgs) { a.loss = 1.0 }, "-loss"},
 		{"reorder negative", func(a *runArgs) { a.reorder = -0.5 }, "-reorder"},
 		{"reorder one", func(a *runArgs) { a.reorder = 1.5 }, "-reorder"},
+		{"delay negative", func(a *runArgs) { a.delay = -time.Millisecond }, "-delay"},
 		{"unknown mode", func(a *runArgs) { a.mode = "telepathy" }, "mode"},
 		{"unknown transport", func(a *runArgs) { a.tp = "carrier-pigeon" }, "transport"},
 		{"bad churn kind", func(a *runArgs) { a.churn = "meteor:10:1" }, "-churn"},

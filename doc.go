@@ -51,9 +51,26 @@
 // ownership rules and the before/after allocation table.
 //
 // The benchmark suite in bench_test.go regenerates every experiment
-// with b.ReportAllocs throughout; BENCH_PR5.json is the committed
-// allocation baseline that CI's cmd/benchguard gate enforces (see
-// scripts/bench.sh). See DESIGN.md for the experiment index and
+// with b.ReportAllocs throughout; the newest committed BENCH_PR*.json
+// is the allocation baseline that CI's cmd/benchguard gate enforces
+// (see scripts/bench.sh; parsing and comparison live in
+// internal/benchfmt, which keeps /-qualified sub-benchmark names).
+//
+// cmd/repobench is the performance observatory on top of all this:
+// generate mode sweeps one parameter through the deterministic
+// drivers and appends measurements to a datafile keyed by git
+// revision, display mode renders pure-Go SVG charts
+// (internal/svgplot) — per-parameter scaling curves with one curve
+// per revision, or the committed BENCH_PR*.json baselines as a
+// per-commit trajectory:
+//
+//	go run ./cmd/repobench -driver stream -sweep loss=0:0.1:0.4 -n 8 -k 8 -generations 4
+//	go run ./cmd/repobench -driver cluster -sweep n=8:8:64 -k 16
+//	go run ./cmd/repobench -display sweep -param loss -stat tokens -o loss.svg
+//	go run ./cmd/repobench -display history -stat allocs -o history.svg
+//
+// See DESIGN.md "Performance observatory" for the datafile schema and
+// sweep grammar. See DESIGN.md for the experiment index and
 // implementation notes, and CHANGES.md for the per-change measurement
 // log.
 package repro

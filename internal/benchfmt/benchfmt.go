@@ -1,0 +1,224 @@
+// Package benchfmt parses `go test -bench` output and compares it
+// against committed JSON baselines. It is the shared engine behind
+// cmd/benchguard (the CI allocation gate) and cmd/repobench (the
+// performance observatory): one parser, one baseline format, one
+// baseline-resolution rule, so the gate and the trajectory tooling
+// cannot drift apart.
+//
+// Baselines are the committed BENCH_PR<n>.json documents; the newest
+// one (highest <n>) is the current baseline, resolved in exactly one
+// place (LatestBaseline) so a baseline rotation touches no tooling.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded figures.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Baseline is a committed BENCH_*.json document.
+type Baseline struct {
+	// Note documents how the numbers were produced.
+	Note       string           `json:"note"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output. The
+// name part is any non-space run starting with "Benchmark" so that
+// `/`-qualified sub-benchmarks (b.Run names like BenchmarkFoo/W=4-8)
+// are kept; only the trailing -N GOMAXPROCS suffix is stripped, and
+// only by cpuSuffix below — a digit run inside the name survives.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.eE+-]+) ns/op(.*)$`)
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+var metricRe = regexp.MustCompile(`([0-9.eE+-]+) (B/op|allocs/op)`)
+
+// Parse reads `go test -bench` output and returns the figures of every
+// benchmark that reported allocations (b.ReportAllocs or -benchmem),
+// keyed by benchmark name with the -N cpu suffix stripped. A line that
+// looks like a benchmark result but carries an unparseable number is
+// an error naming the line — a garbled number must fail loudly, not
+// silently enter a baseline as 0 and loosen the gate.
+func Parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{}
+		var err error
+		if e.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("unparseable ns/op %q in line %q", m[2], line)
+		}
+		hasAllocs := false
+		for _, mm := range metricRe.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("unparseable %s %q in line %q", mm[2], mm[1], line)
+			}
+			switch mm[2] {
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+				hasAllocs = true
+			}
+		}
+		if hasAllocs {
+			out[cpuSuffix.ReplaceAllString(m[1], "")] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// ReadBaseline loads a committed baseline document.
+func ReadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline marshals a baseline document to path (trailing
+// newline, stable key order via encoding/json map sorting).
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineName extracts the PR number from a BENCH_PR<n>.json file
+// name, or -1.
+var baselineName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// LatestBaseline resolves the current committed baseline in dir: the
+// BENCH_PR<n>.json with the highest n. Every tool that needs "the
+// baseline" goes through this, so rotating the baseline means
+// committing one new file — no flag defaults or script edits.
+func LatestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselineName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = e.Name(), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR*.json baseline found in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// Baselines lists every BENCH_PR<n>.json in dir in ascending PR
+// order — the per-commit trajectory the observatory folds into its
+// history charts.
+func Baselines(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type rev struct {
+		name string
+		n    int
+	}
+	var revs []rev
+	for _, e := range entries {
+		m := baselineName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		revs = append(revs, rev{e.Name(), n})
+	}
+	sort.Slice(revs, func(i, j int) bool { return revs[i].n < revs[j].n })
+	out := make([]string, len(revs))
+	for i, r := range revs {
+		out[i] = filepath.Join(dir, r.name)
+	}
+	return out, nil
+}
+
+// Comparison is one guarded benchmark's verdict.
+type Comparison struct {
+	Name      string
+	Base, Cur Entry
+	// Limit is the allocs/op ceiling: Base×(1+maxRegress)+1. The +1
+	// allowance absorbs integer jitter around tiny baselines (a 0-alloc
+	// benchmark may legitimately warm a lazily initialized runtime
+	// structure once under -benchtime 1x).
+	Limit float64
+	// MissingBaseline / MissingCurrent flag a guard name absent from
+	// one side; both are failures.
+	MissingBaseline bool
+	MissingCurrent  bool
+	// OK is false on a regression beyond Limit or a missing side.
+	OK bool
+}
+
+// Compare checks each guarded benchmark's current allocs/op against
+// the baseline. It returns one Comparison per guard name (empty names
+// skipped) and whether all passed.
+func Compare(base, cur map[string]Entry, guard []string, maxRegress float64) ([]Comparison, bool) {
+	var out []Comparison
+	ok := true
+	for _, name := range guard {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c := Comparison{Name: name}
+		var okB, okC bool
+		c.Base, okB = base[name]
+		c.Cur, okC = cur[name]
+		switch {
+		case !okB:
+			c.MissingBaseline = true
+		case !okC:
+			c.MissingCurrent = true
+		default:
+			c.Limit = c.Base.AllocsPerOp*(1+maxRegress) + 1
+			c.OK = c.Cur.AllocsPerOp <= c.Limit
+		}
+		if !c.OK {
+			ok = false
+		}
+		out = append(out, c)
+	}
+	return out, ok
+}

@@ -1,0 +1,202 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// realOutput is verbatim `go test -bench -benchmem` output: headers,
+// metric-only lines, a plain benchmark, a /-qualified sub-benchmark
+// family (b.Run), and a benchmark without -benchmem figures.
+const realOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkEngineRound-8   	       1	    101048 ns/op	   45192 B/op	     883 allocs/op
+BenchmarkSweep/W=1-8     	       1	   7193155 ns/op	  968224 B/op	   10944 allocs/op
+BenchmarkSweep/W=4-8     	       1	   5335233 ns/op	  735528 B/op	    8618 allocs/op
+BenchmarkSweep/loss=0.2-8	       1	   6000000 ns/op	  800000 B/op	    9000 allocs/op
+BenchmarkNoMem-8         	       1	       500 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseKeepsSubBenchmarks(t *testing.T) {
+	got, err := Parse(strings.NewReader(realOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Entry{
+		"BenchmarkEngineRound":    {NsPerOp: 101048, BytesPerOp: 45192, AllocsPerOp: 883},
+		"BenchmarkSweep/W=1":      {NsPerOp: 7193155, BytesPerOp: 968224, AllocsPerOp: 10944},
+		"BenchmarkSweep/W=4":      {NsPerOp: 5335233, BytesPerOp: 735528, AllocsPerOp: 8618},
+		"BenchmarkSweep/loss=0.2": {NsPerOp: 6000000, BytesPerOp: 800000, AllocsPerOp: 9000},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+	if _, ok := got["BenchmarkNoMem"]; ok {
+		t.Error("benchmark without allocs/op entered the parse")
+	}
+}
+
+func TestParseStripsOnlyCPUSuffix(t *testing.T) {
+	// A sub-benchmark name legitimately ending in a -digits run: only
+	// the final GOMAXPROCS suffix may be stripped.
+	const line = "BenchmarkFoo/n-16-8   	 1	 100 ns/op	 0 B/op	 2 allocs/op\n"
+	got, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkFoo/n-16"]; !ok {
+		t.Errorf("want key BenchmarkFoo/n-16, got %+v", got)
+	}
+}
+
+func TestParseSurfacesMalformedNumbers(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"bad ns/op", "BenchmarkFoo-8  1  1.2.3 ns/op  0 B/op  1 allocs/op"},
+		{"bad allocs", "BenchmarkFoo-8  1  100 ns/op  0 B/op  1..2 allocs/op"},
+		{"bad bytes", "BenchmarkFoo-8  1  100 ns/op  3e+e4 B/op  1 allocs/op"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.line))
+		if err == nil {
+			t.Errorf("%s: malformed line parsed silently: %q", tc.name, tc.line)
+			continue
+		}
+		if !strings.Contains(err.Error(), "BenchmarkFoo") {
+			t.Errorf("%s: error %q does not quote the offending line", tc.name, err)
+		}
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n--- garbage 1.2.3 ---\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("non-bench lines produced entries: %+v", got)
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	base := map[string]Entry{"BenchmarkA": {AllocsPerOp: 100}, "BenchmarkZero": {AllocsPerOp: 0}}
+	cases := []struct {
+		name   string
+		allocs float64
+		bench  string
+		wantOK bool
+	}{
+		// limit = 100*1.2+1 = 121: at the limit passes, above fails.
+		{"at limit", 121, "BenchmarkA", true},
+		{"just above", 121.5, "BenchmarkA", false},
+		{"regressed", 200, "BenchmarkA", false},
+		// limit = 0*1.2+1 = 1: the +1 allowance admits one alloc of
+		// jitter on a zero baseline, no more.
+		{"zero base jitter", 1, "BenchmarkZero", true},
+		{"zero base regressed", 2, "BenchmarkZero", false},
+	}
+	for _, tc := range cases {
+		cur := map[string]Entry{tc.bench: {AllocsPerOp: tc.allocs}}
+		got, ok := Compare(base, cur, []string{tc.bench}, 0.20)
+		if len(got) != 1 || ok != tc.wantOK || got[0].OK != tc.wantOK {
+			t.Errorf("%s: Compare -> %+v ok=%v, want ok=%v", tc.name, got, ok, tc.wantOK)
+		}
+	}
+}
+
+func TestCompareMissingSides(t *testing.T) {
+	base := map[string]Entry{"BenchmarkA": {AllocsPerOp: 10}}
+	cur := map[string]Entry{"BenchmarkB": {AllocsPerOp: 10}}
+	got, ok := Compare(base, cur, []string{"BenchmarkA", "BenchmarkB", " ", ""}, 0.20)
+	if ok {
+		t.Error("missing benchmarks passed the gate")
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (blank guard names skipped): %+v", len(got), got)
+	}
+	if !got[0].MissingCurrent || got[0].OK {
+		t.Errorf("BenchmarkA: %+v, want MissingCurrent and not OK", got[0])
+	}
+	if !got[1].MissingBaseline || got[1].OK {
+		t.Errorf("BenchmarkB: %+v, want MissingBaseline and not OK", got[1])
+	}
+}
+
+// TestSubBenchmarkGuardEndToEnd is the regression test for the
+// dropped-sub-benchmark bug: a /-qualified benchmark must survive the
+// write-baseline round trip and then fail the gate when its allocs/op
+// regress.
+func TestSubBenchmarkGuardEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cur, err := Parse(strings.NewReader(realOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_PR6.json")
+	if err := WriteBaseline(path, &Baseline{Note: "test", Benchmarks: cur}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base.Benchmarks["BenchmarkSweep/W=4"]; !ok {
+		t.Fatal("sub-benchmark missing from regenerated baseline")
+	}
+
+	// Same output, W=4 allocs/op regressed 8618 -> 20000: the gate
+	// must fail on exactly that guard.
+	regressed := strings.Replace(realOutput, "8618 allocs/op", "20000 allocs/op", 1)
+	cur2, err := Parse(strings.NewReader(regressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := []string{"BenchmarkEngineRound", "BenchmarkSweep/W=4"}
+	got, ok := Compare(base.Benchmarks, cur2, guard, 0.20)
+	if ok {
+		t.Fatal("regressed sub-benchmark passed the gate")
+	}
+	if !got[0].OK {
+		t.Errorf("unregressed benchmark failed: %+v", got[0])
+	}
+	if got[1].OK || got[1].Name != "BenchmarkSweep/W=4" {
+		t.Errorf("regressed sub-benchmark not caught: %+v", got[1])
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR4.json", "BENCH_PR5.json", "BENCH_PR12.json", "BENCH_PRx.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric, not lexicographic: PR12 beats PR5.
+	if filepath.Base(got) != "BENCH_PR12.json" {
+		t.Errorf("LatestBaseline = %s, want BENCH_PR12.json", got)
+	}
+	all, err := Baselines(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || filepath.Base(all[0]) != "BENCH_PR4.json" || filepath.Base(all[2]) != "BENCH_PR12.json" {
+		t.Errorf("Baselines = %v, want PR4,PR5,PR12 in order", all)
+	}
+	if _, err := LatestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir resolved a baseline")
+	}
+}

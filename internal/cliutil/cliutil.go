@@ -74,6 +74,9 @@ func ParseTransport(name string) (lockstep bool, err error) {
 // with the per-middleware seed offsets every CLI uses. Delay needs wall
 // -clock time, so it is rejected under the lockstep driver.
 func BuildTransport(n, buffer int, lockstep bool, delay time.Duration, reorder, loss float64, seed int64) (cluster.Transport, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("-delay must be non-negative, got %v", delay)
+	}
 	var tr cluster.Transport = cluster.NewChanTransport(n, buffer)
 	if delay > 0 {
 		if lockstep {

@@ -89,3 +89,14 @@ func TestBuildTransportRejectsLockstepDelay(t *testing.T) {
 	}
 	tr.Close()
 }
+
+func TestBuildTransportRejectsNegativeDelay(t *testing.T) {
+	// Rejected under both drivers: a negative -delay was silently
+	// treated as "no delay" before, unlike every other flag.
+	for _, lockstep := range []bool{false, true} {
+		_, err := BuildTransport(4, 8, lockstep, -time.Millisecond, 0, 0, 1)
+		if err == nil || !strings.Contains(err.Error(), "-delay") {
+			t.Errorf("lockstep=%v: negative delay -> err %v, want one naming -delay", lockstep, err)
+		}
+	}
+}

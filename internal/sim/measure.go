@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"runtime"
+	"time"
+)
+
+// Measurement is the cost profile of one measured run, captured via
+// runtime.ReadMemStats around the run. It is what the performance
+// observatory (cmd/repobench) records per sweep point.
+type Measurement struct {
+	// Runtime is the wall clock of the run.
+	Runtime time.Duration
+	// Allocs / Bytes are the heap allocation count and cumulative
+	// allocated bytes attributable to the run (Mallocs / TotalAlloc
+	// deltas).
+	Allocs uint64
+	Bytes  uint64
+	// HeapHighWater is HeapAlloc immediately after the run, before any
+	// collection: live heap plus the garbage the run left behind. The
+	// heap is collected before the run starts, so this approximates
+	// the run's peak footprint without the sampling overhead of a
+	// watcher goroutine (which would also break lockstep determinism).
+	HeapHighWater uint64
+}
+
+// Measure runs fn with the memory profiler bracketing it and returns
+// the cost profile. A GC runs first so previous measurements' garbage
+// is not charged to fn. fn's error passes through with the (partial)
+// measurement.
+//
+// Allocation deltas are exact only when nothing else allocates
+// concurrently — callers should measure single-threaded (lockstep)
+// runs, which is also what makes the figures reproducible functions of
+// the seed.
+func Measure(fn func() error) (Measurement, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Measurement{
+		Runtime:       elapsed,
+		Allocs:        after.Mallocs - before.Mallocs,
+		Bytes:         after.TotalAlloc - before.TotalAlloc,
+		HeapHighWater: after.HeapAlloc,
+	}, err
+}

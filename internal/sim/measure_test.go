@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var sink [][]byte
+	m, err := Measure(func() error {
+		for i := 0; i < 100; i++ {
+			sink = append(sink, make([]byte, 4096))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocs < 100 {
+		t.Errorf("Allocs = %d, want >= 100", m.Allocs)
+	}
+	if m.Bytes < 100*4096 {
+		t.Errorf("Bytes = %d, want >= %d", m.Bytes, 100*4096)
+	}
+	if m.HeapHighWater < 100*4096 {
+		t.Errorf("HeapHighWater = %d, want >= %d (the slices are live)", m.HeapHighWater, 100*4096)
+	}
+	if m.Runtime <= 0 {
+		t.Errorf("Runtime = %v, want > 0", m.Runtime)
+	}
+	_ = sink
+}
+
+func TestMeasurePassesErrorThrough(t *testing.T) {
+	want := errors.New("boom")
+	if _, err := Measure(func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("Measure error = %v, want %v", err, want)
+	}
+}

@@ -1,0 +1,100 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+func testChart() *Chart {
+	return &Chart{
+		Title:  "runtime vs n",
+		XLabel: "n (nodes)",
+		YLabel: "runtime (ms)",
+		Series: []Series{
+			{Name: "abc1234", X: []float64{8, 16, 24, 32}, Y: []float64{1.5, 4.2, 9.8, 18.3}},
+			{Name: "def5678", X: []float64{8, 16, 24, 32}, Y: []float64{1.4, 3.9, 8.1, 15.0}},
+		},
+	}
+}
+
+// TestGoldenMarkup pins the exact SVG byte stream: the renderer is an
+// encoder, and like the wire codec its output is part of the contract
+// (CI archives these files; diffs must mean data changes).
+func TestGoldenMarkup(t *testing.T) {
+	got := testChart().SVG()
+	golden := filepath.Join("testdata", "chart.svg.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/svgplot -update` to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("SVG markup drifted from golden file %s:\ngot:\n%s", golden, got)
+	}
+}
+
+// TestWellFormedXML parses the output with encoding/xml: every chart,
+// including degenerate ones, must be a well-formed document.
+func TestWellFormedXML(t *testing.T) {
+	charts := map[string]*Chart{
+		"normal":       testChart(),
+		"empty":        {Title: "empty"},
+		"single point": {Series: []Series{{Name: "p", X: []float64{3}, Y: []float64{7}}}},
+		"flat line":    {Series: []Series{{Name: "f", X: []float64{1, 2}, Y: []float64{5, 5}}}},
+		"escapes":      {Title: `a<b>&"c"`, Series: []Series{{Name: "x<y&z", X: []float64{0, 1}, Y: []float64{0, 1}}}},
+	}
+	for name, c := range charts {
+		s := c.SVG()
+		dec := xml.NewDecoder(strings.NewReader(s))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%s: invalid XML: %v\n%s", name, err, s)
+			}
+		}
+		if !strings.HasPrefix(s, "<svg ") || !strings.HasSuffix(s, "</svg>\n") {
+			t.Errorf("%s: not a standalone svg document", name)
+		}
+	}
+}
+
+func TestSeriesRendered(t *testing.T) {
+	s := testChart().SVG()
+	for _, want := range []string{"abc1234", "def5678", "<polyline", "<circle", "runtime vs n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two series -> two distinct palette colors.
+	if !strings.Contains(s, palette[0]) || !strings.Contains(s, palette[1]) {
+		t.Error("series do not use distinct palette colors")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	tk := ticks(0, 100, 5)
+	if len(tk) < 3 {
+		t.Fatalf("ticks(0,100,5) = %v, want >= 3 ticks", tk)
+	}
+	if tk[0] < 0 || tk[len(tk)-1] > 100+1e-9 {
+		t.Errorf("ticks %v escape the range [0,100]", tk)
+	}
+	if got := ticks(5, 5, 5); len(got) < 2 {
+		t.Errorf("degenerate range produced %v, want an expanded window", got)
+	}
+}

@@ -4,10 +4,16 @@
 # committed allocation baseline.
 #
 #   scripts/bench.sh            # run benches, print output, gate against
-#                               # BENCH_PR5.json (what CI does)
-#   scripts/bench.sh --write    # run benches and rewrite BENCH_PR5.json
+#                               # the newest committed BENCH_PR*.json
+#                               # (what CI does)
+#   scripts/bench.sh --write    # run benches and rewrite that baseline
 #                               # (do this when a PR intentionally moves
 #                               # the allocation floor, and commit it)
+#
+# The baseline is resolved in exactly one place — benchguard's
+# benchfmt.LatestBaseline picks the highest-numbered BENCH_PR<n>.json —
+# so rotating the baseline means committing one new file; this script
+# and CI pick it up with no edits.
 #
 # The run is `-benchtime 1x`: every benchmark executes its measured body
 # once, which is enough for allocs/op (allocation counts are
@@ -23,7 +29,7 @@ trap 'rm -f "$OUT"' EXIT
 go test -run xxx -bench . -benchtime 1x -benchmem ./... | tee "$OUT"
 
 if [[ "${1:-}" == "--write" ]]; then
-  go run ./cmd/benchguard -write -out BENCH_PR5.json < "$OUT"
+  go run ./cmd/benchguard -write < "$OUT"
 else
-  go run ./cmd/benchguard -baseline BENCH_PR5.json < "$OUT"
+  go run ./cmd/benchguard < "$OUT"
 fi
