@@ -1,0 +1,251 @@
+// Command node runs ONE gossip node as its own OS process over a real
+// UDP socket — the multi-process counterpart of cmd/cluster and
+// cmd/stream, whose runtimes spawn all n nodes as goroutines. A
+// cluster is then n of these processes: every process derives the same
+// token set (or stream source) from the shared -seed, discovers its
+// peers' socket addresses from one -bootstrap peer, gossips until its
+// own rank-k decode verifies, and lingers so slower peers can finish.
+// scripts/localnet.sh spins up n of them on the loopback and collects
+// the per-node metric files; see DESIGN.md ("Socket transport &
+// multi-process runtime").
+//
+// Quick start:
+//
+//	go run ./cmd/node -id 0 -n 3 -addr 127.0.0.1:9000 &
+//	go run ./cmd/node -id 1 -n 3 -addr 127.0.0.1:9001 -bootstrap 127.0.0.1:9000 &
+//	go run ./cmd/node -id 2 -n 3 -addr 127.0.0.1:9002 -bootstrap 127.0.0.1:9000
+//
+// Every process prints a LISTEN line at bind time and a DONE line at
+// completion; -metrics writes a key=value file with the node's gossip
+// and socket counters. -mode stream runs the windowed streaming
+// runtime instead of one-shot dissemination. The -loss/-delay/-reorder
+// fault-injection middlewares stack above the socket exactly as they
+// do above the in-process transports, so hostile-network experiments
+// compose with real packet loss.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/cluster"
+	"repro/internal/stream"
+	"repro/internal/token"
+	"repro/internal/udpnet"
+)
+
+// options carries every flag so tests drive run() without a process.
+type options struct {
+	addr      string
+	bootstrap string
+	id        int
+	n         int
+	mode      string
+
+	k       int
+	payload int
+	fanout  int
+	seed    int64
+
+	window      int
+	generations int
+
+	interval time.Duration
+	timeout  time.Duration
+	linger   time.Duration
+
+	loss    float64
+	delay   time.Duration
+	reorder float64
+
+	metrics string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:0", "UDP address to bind (host:port; port 0 = ephemeral)")
+	flag.StringVar(&o.bootstrap, "bootstrap", "", "a peer's UDP address to learn the membership from (empty = this IS the bootstrap node)")
+	flag.IntVar(&o.id, "id", 0, "this node's id in [0, n)")
+	flag.IntVar(&o.n, "n", 2, "total number of node processes")
+	flag.StringVar(&o.mode, "mode", "cluster", "runtime: cluster (one-shot dissemination) | stream (windowed generations)")
+	flag.IntVar(&o.k, "k", 32, "tokens to disseminate (cluster) or generation size (stream)")
+	flag.IntVar(&o.payload, "payload", 128, "token payload size in bits")
+	flag.IntVar(&o.fanout, "fanout", 2, "peers contacted per emission")
+	flag.Int64Var(&o.seed, "seed", 1, "shared seed; all processes must agree (tokens derive from it)")
+	flag.IntVar(&o.window, "window", 4, "stream: maximum concurrent generations")
+	flag.IntVar(&o.generations, "generations", 8, "stream: number of generations")
+	flag.DurationVar(&o.interval, "interval", 2*time.Millisecond, "emission pacing")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "wall-clock cap for bootstrap and for the run")
+	flag.DurationVar(&o.linger, "linger", 2*time.Second, "keep gossiping this long after local completion")
+	flag.Float64Var(&o.loss, "loss", 0, "injected packet loss rate in [0,1), above the socket")
+	flag.DurationVar(&o.delay, "delay", 0, "injected per-packet latency upper bound")
+	flag.Float64Var(&o.reorder, "reorder", 0, "injected packet reordering rate in [0,1)")
+	flag.StringVar(&o.metrics, "metrics", "", "write key=value metrics to this file")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "node %d: %v\n", o.id, err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole process body behind the flag surface, testable
+// without forking: validate, bind, bootstrap, gossip, report.
+func run(ctx context.Context, w io.Writer, o options) error {
+	streamMode, err := cliutil.ParseMode(o.mode)
+	if err != nil {
+		return err
+	}
+	if err := cliutil.ValidateHostPort("-addr", o.addr); err != nil {
+		return err
+	}
+	if o.bootstrap != "" {
+		if err := cliutil.ValidateHostPort("-bootstrap", o.bootstrap); err != nil {
+			return err
+		}
+	}
+	if err := cliutil.ValidateNodeID(o.id, o.n); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateGossip(o.n, o.k, o.payload, o.fanout, o.loss, o.reorder); err != nil {
+		return err
+	}
+
+	tr, err := udpnet.Dial(udpnet.Config{ID: o.id, Nodes: o.n, Addr: o.addr, Bootstrap: o.bootstrap})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	fmt.Fprintf(w, "LISTEN id=%d addr=%s\n", o.id, tr.LocalAddr())
+
+	// Wrap before bootstrapping so a bad middleware knob fails fast.
+	// The middlewares hide the socket transport's Known method, which is
+	// why the routability gate is captured from tr, not wrapped.
+	wrapped, err := cliutil.WrapHostile(tr, o.delay, o.reorder, o.loss, o.seed)
+	if err != nil {
+		return err
+	}
+
+	// Fill the address book before gossiping: joiners pull it from the
+	// bootstrap peer; the bootstrap node itself learns each joiner from
+	// the pings it answers. The retry period scales with the emission
+	// interval (which the launcher scales with n): n-1 joiners hammering
+	// one bootstrap peer every 50ms was a measured livelock at n=1024 on
+	// one core — the ping storm starved the processes it was probing.
+	bootCtx, cancelBoot := context.WithTimeout(ctx, o.timeout)
+	defer cancelBoot()
+	if o.bootstrap != "" {
+		bootEvery := 10 * o.interval
+		if bootEvery < 50*time.Millisecond {
+			bootEvery = 50 * time.Millisecond
+		}
+		go tr.BootstrapLoop(bootCtx, bootEvery)
+	}
+	// Wait in slices so a slow bootstrap is visible in the logs: a
+	// 1k-process run that stalls with every node silent is
+	// undiagnosable; one that stalls printing "known=37/1024" is not.
+	for {
+		wctx, cancelWait := context.WithTimeout(bootCtx, 5*time.Second)
+		err := tr.WaitReady(wctx)
+		cancelWait()
+		if err == nil {
+			break
+		}
+		if bootCtx.Err() != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+		fmt.Fprintf(w, "BOOT id=%d known=%d/%d\n", o.id, tr.BookSize(), o.n)
+	}
+
+	kv := [][2]string{}
+	add := func(key string, val any) { kv = append(kv, [2]string{key, fmt.Sprint(val)}) }
+	var done bool
+	if streamMode {
+		m, err := stream.RunSingle(ctx, stream.SingleConfig{
+			ID: o.id, N: o.n, K: o.k, PayloadBits: o.payload,
+			Window: o.window, Generations: o.generations,
+			Fanout: o.fanout, Seed: o.seed,
+			Transport: wrapped, Known: tr.Known,
+			Interval: o.interval, Timeout: o.timeout, Linger: o.linger,
+		})
+		if err != nil {
+			return err
+		}
+		done = m.Done
+		add("done", m.Done)
+		add("done_at_ms", m.DoneAt.Milliseconds())
+		add("delivered", m.Delivered)
+		add("packets_out", m.PacketsOut)
+		add("packets_in", m.PacketsIn)
+		add("acks_out", m.AcksOut)
+		add("acks_in", m.AcksIn)
+		add("bits_out", m.BitsOut)
+		add("dropped", m.Dropped)
+		add("innovative", m.Innovative)
+		add("stale", m.Stale)
+		fmt.Fprintf(w, "DONE id=%d ok=%v delivered=%d packets_out=%d\n", o.id, m.Done, m.Delivered, m.PacketsOut)
+	} else {
+		toks := token.RandomSet(o.k, o.payload, rand.New(rand.NewSource(o.seed)))
+		m, err := cluster.RunSingle(ctx, cluster.SingleConfig{
+			ID: o.id, N: o.n, Fanout: o.fanout, Mode: cluster.Coded, Seed: o.seed,
+			Transport: wrapped, Known: tr.Known,
+			Interval: o.interval, Timeout: o.timeout, Linger: o.linger,
+		}, toks)
+		if err != nil {
+			return err
+		}
+		done = m.Done
+		add("done", m.Done)
+		add("done_at_ms", m.DoneAt.Milliseconds())
+		add("packets_out", m.PacketsOut)
+		add("packets_in", m.PacketsIn)
+		add("bits_out", m.BitsOut)
+		add("dropped", m.Dropped)
+		add("innovative", m.Innovative)
+		fmt.Fprintf(w, "DONE id=%d ok=%v innovative=%d packets_out=%d\n", o.id, m.Done, m.Innovative, m.PacketsOut)
+	}
+	s := tr.Stats()
+	add("udp_datagrams", s.Datagrams)
+	add("udp_gossip", s.Gossip)
+	add("udp_announces", s.Announces)
+	add("udp_drop_oversize", s.DropOversize)
+	add("udp_drop_truncated", s.DropTruncated)
+	add("udp_drop_version", s.DropVersion)
+	add("udp_drop_type", s.DropType)
+	add("udp_drop_malformed", s.DropMalformed)
+	add("udp_drop_inbox_full", s.DropInboxFull)
+	add("udp_drop_unknown_peer", s.DropUnknownPeer)
+	add("udp_write_errors", s.WriteErrors)
+	if o.metrics != "" {
+		if err := writeMetrics(o.metrics, o.id, kv); err != nil {
+			return err
+		}
+	}
+	if !done {
+		return fmt.Errorf("did not complete within %v", o.timeout)
+	}
+	return nil
+}
+
+// writeMetrics dumps the node's counters as sorted key=value lines —
+// greppable, awk-able, and diff-stable for CI artifacts.
+func writeMetrics(path string, id int, kv [][2]string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%d\n", id)
+	sorted := append([][2]string(nil), kv...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "%s=%s\n", e[0], e[1])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

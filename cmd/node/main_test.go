@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func validOptions() options {
+	return options{
+		addr: "127.0.0.1:0", id: 0, n: 2, mode: "cluster",
+		k: 4, payload: 32, fanout: 1, seed: 1,
+		window: 2, generations: 3,
+		interval: time.Millisecond, timeout: 20 * time.Second, linger: 500 * time.Millisecond,
+	}
+}
+
+// TestRunValidation drives every flag check through the extracted
+// process body: each rejection must happen before a socket is bound
+// and must name the offending flag.
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(o options) options
+		want string
+	}{
+		{"bad mode", func(o options) options { o.mode = "both"; return o }, "-mode"},
+		{"empty addr", func(o options) options { o.addr = ""; return o }, "-addr"},
+		{"addr without port", func(o options) options { o.addr = "127.0.0.1"; return o }, "-addr"},
+		{"bad bootstrap", func(o options) options { o.bootstrap = "nonsense"; return o }, "-bootstrap"},
+		{"negative id", func(o options) options { o.id = -1; return o }, "-id"},
+		{"id at n", func(o options) options { o.id = 2; return o }, "-id"},
+		{"single node", func(o options) options { o.n = 1; o.id = 0; return o }, "-n"},
+		{"zero k", func(o options) options { o.k = 0; return o }, "-k"},
+		{"zero payload", func(o options) options { o.payload = 0; return o }, "-payload"},
+		{"fanout at n", func(o options) options { o.fanout = 2; return o }, "-fanout"},
+		{"loss out of range", func(o options) options { o.loss = 1; return o }, "-loss"},
+		{"reorder out of range", func(o options) options { o.reorder = -0.1; return o }, "-reorder"},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), io.Discard, tc.mut(validOptions()))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunRejectsNegativeDelay pins that the middleware knobs are
+// validated even though they live behind WrapHostile: a negative
+// -delay must fail the run, not silently mean "no delay".
+func TestRunRejectsNegativeDelay(t *testing.T) {
+	o := validOptions()
+	o.delay = -time.Millisecond
+	if err := run(context.Background(), io.Discard, o); err == nil || !strings.Contains(err.Error(), "-delay") {
+		t.Errorf("negative delay: err %v does not name -delay", err)
+	}
+}
+
+// freeAddrs reserves n distinct loopback UDP ports by binding and
+// releasing them, so the two-process smoke tests can exchange a known
+// bootstrap address.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}
+
+// smoke runs a full 2-process-shaped cluster (two run() bodies, each
+// owning its own socket) in the given mode and returns the per-node
+// outputs and metric files.
+func smoke(t *testing.T, mode string) (outs []bytes.Buffer, metrics []string) {
+	t.Helper()
+	addrs := freeAddrs(t, 2)
+	dir := t.TempDir()
+	outs = make([]bytes.Buffer, 2)
+	metrics = []string{filepath.Join(dir, "node0.metrics"), filepath.Join(dir, "node1.metrics")}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		o := validOptions()
+		o.id, o.mode, o.addr, o.metrics = id, mode, addrs[id], metrics[id]
+		if id > 0 {
+			o.bootstrap = addrs[0]
+		}
+		wg.Add(1)
+		go func(id int, o options) {
+			defer wg.Done()
+			errs[id] = run(context.Background(), &outs[id], o)
+		}(id, o)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v\n%s", id, err, outs[id].String())
+		}
+	}
+	return outs, metrics
+}
+
+// TestTwoNodeClusterSmoke is the end-to-end cmd/node path: two process
+// bodies bootstrap over loopback sockets, disseminate, verify, and
+// write their metric files.
+func TestTwoNodeClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket integration test skipped with -short")
+	}
+	outs, metrics := smoke(t, "cluster")
+	for id := range outs {
+		got := outs[id].String()
+		if !strings.Contains(got, "LISTEN id=") {
+			t.Errorf("node %d printed no LISTEN line:\n%s", id, got)
+		}
+		if !strings.Contains(got, "DONE id=") || !strings.Contains(got, "ok=true") {
+			t.Errorf("node %d printed no successful DONE line:\n%s", id, got)
+		}
+		raw, err := os.ReadFile(metrics[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"done=true", "udp_datagrams=", "packets_out="} {
+			if !strings.Contains(string(raw), key) {
+				t.Errorf("node %d metrics file lacks %q:\n%s", id, key, raw)
+			}
+		}
+	}
+}
+
+// TestTwoNodeStreamSmoke drives -mode stream through the same path.
+func TestTwoNodeStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket integration test skipped with -short")
+	}
+	outs, _ := smoke(t, "stream")
+	for id := range outs {
+		if got := outs[id].String(); !strings.Contains(got, "ok=true") || !strings.Contains(got, "delivered=3") {
+			t.Errorf("node %d did not deliver the full stream:\n%s", id, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/cluster"
@@ -57,6 +58,44 @@ func ParseChurnFlag(s string) (*cluster.ChurnSchedule, error) {
 	return sched, nil
 }
 
+// ValidateHostPort rejects flag values that are not host:port (the
+// only address shape the socket transport binds or dials), naming the
+// flag in the error. Empty host or port are allowed by the net parser
+// ("[::]:0", ":9000") and therefore allowed here.
+func ValidateHostPort(flagName, v string) error {
+	if v == "" {
+		return fmt.Errorf("%s must be host:port, got an empty string", flagName)
+	}
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		return fmt.Errorf("%s must be host:port: %v", flagName, err)
+	}
+	return nil
+}
+
+// ValidateNodeID rejects ids outside the [0, n) range every transport
+// and runtime indexes by.
+func ValidateNodeID(id, n int) error {
+	switch {
+	case id < 0:
+		return fmt.Errorf("-id must be non-negative, got %d", id)
+	case id >= n:
+		return fmt.Errorf("-id must be below -n (%d), got %d", n, id)
+	}
+	return nil
+}
+
+// ParseMode maps the cmd/node -mode flag to the runtime selector.
+func ParseMode(name string) (stream bool, err error) {
+	switch name {
+	case "cluster":
+		return false, nil
+	case "stream":
+		return true, nil
+	default:
+		return false, fmt.Errorf("-mode must be cluster or stream, got %q", name)
+	}
+}
+
 // ParseTransport maps the -transport flag to the lockstep switch.
 func ParseTransport(name string) (lockstep bool, err error) {
 	switch name {
@@ -77,11 +116,29 @@ func BuildTransport(n, buffer int, lockstep bool, delay time.Duration, reorder, 
 	if delay < 0 {
 		return nil, fmt.Errorf("-delay must be non-negative, got %v", delay)
 	}
-	var tr cluster.Transport = cluster.NewChanTransport(n, buffer)
+	if delay > 0 && lockstep {
+		return nil, fmt.Errorf("-delay needs wall-clock time; use -transport chan")
+	}
+	return WrapHostile(cluster.NewChanTransport(n, buffer), delay, reorder, loss, seed)
+}
+
+// WrapHostile stacks the fault-injection middlewares over an existing
+// transport — in-process channels or real sockets alike — in the
+// canonical order (loss over reorder over delay) with the shared
+// per-middleware seed offsets. Zero-valued knobs add no layer, so the
+// bare transport passes through untouched; note that any wrapping hides
+// optional interfaces like cluster.AddressedTransport, so callers that
+// need Known must capture it before wrapping.
+func WrapHostile(tr cluster.Transport, delay time.Duration, reorder, loss float64, seed int64) (cluster.Transport, error) {
+	switch {
+	case delay < 0:
+		return nil, fmt.Errorf("-delay must be non-negative, got %v", delay)
+	case reorder < 0 || reorder >= 1:
+		return nil, fmt.Errorf("-reorder must be in [0,1), got %g", reorder)
+	case loss < 0 || loss >= 1:
+		return nil, fmt.Errorf("-loss must be in [0,1), got %g", loss)
+	}
 	if delay > 0 {
-		if lockstep {
-			return nil, fmt.Errorf("-delay needs wall-clock time; use -transport chan")
-		}
 		tr = cluster.WithDelay(tr, delay/10, delay, seed+101)
 	}
 	if reorder > 0 {

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 func TestValidateGossip(t *testing.T) {
@@ -76,6 +78,78 @@ func TestParseChurnFlag(t *testing.T) {
 	}
 	if _, err := ParseChurnFlag("meteor:10:1"); err == nil || !strings.Contains(err.Error(), "-churn") {
 		t.Errorf("bad churn flag: err %v does not name -churn", err)
+	}
+}
+
+func TestValidateHostPort(t *testing.T) {
+	for _, v := range []string{"127.0.0.1:9000", "localhost:0", ":9000", "[::1]:80"} {
+		if err := ValidateHostPort("-addr", v); err != nil {
+			t.Errorf("%q rejected: %v", v, err)
+		}
+	}
+	for _, v := range []string{"", "127.0.0.1", "nonsense", "host:port:extra", "[::1]"} {
+		err := ValidateHostPort("-bootstrap", v)
+		if err == nil || !strings.Contains(err.Error(), "-bootstrap") {
+			t.Errorf("%q: err %v does not name -bootstrap", v, err)
+		}
+	}
+}
+
+func TestValidateNodeID(t *testing.T) {
+	if err := ValidateNodeID(0, 4); err != nil {
+		t.Errorf("id 0 rejected: %v", err)
+	}
+	if err := ValidateNodeID(3, 4); err != nil {
+		t.Errorf("id n-1 rejected: %v", err)
+	}
+	for _, id := range []int{-1, 4, 100} {
+		err := ValidateNodeID(id, 4)
+		if err == nil || !strings.Contains(err.Error(), "-id") {
+			t.Errorf("id %d: err %v does not name -id", id, err)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	if stream, err := ParseMode("cluster"); err != nil || stream {
+		t.Errorf("cluster -> %v, %v", stream, err)
+	}
+	if stream, err := ParseMode("stream"); err != nil || !stream {
+		t.Errorf("stream -> %v, %v", stream, err)
+	}
+	for _, v := range []string{"", "Cluster", "both"} {
+		if _, err := ParseMode(v); err == nil || !strings.Contains(err.Error(), "-mode") {
+			t.Errorf("%q: err %v does not name -mode", v, err)
+		}
+	}
+}
+
+func TestWrapHostileValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		delay   time.Duration
+		reorder float64
+		loss    float64
+		want    string
+	}{
+		{"negative delay", -time.Millisecond, 0, 0, "-delay"},
+		{"reorder high", 0, 1, 0, "-reorder"},
+		{"loss high", 0, 0, 1.5, "-loss"},
+	}
+	for _, tc := range cases {
+		if _, err := WrapHostile(nil, tc.delay, tc.reorder, tc.loss, 1); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v does not name %q", tc.name, err, tc.want)
+		}
+	}
+	// Zero knobs must pass the transport through untouched.
+	var base cluster.Transport = cluster.NewChanTransport(2, 1)
+	defer base.Close()
+	tr, err := WrapHostile(base, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != base {
+		t.Error("zero-knob WrapHostile wrapped the transport anyway")
 	}
 }
 

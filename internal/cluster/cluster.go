@@ -469,6 +469,30 @@ type member struct {
 	rng  *rand.Rand
 	io   nodeIO
 	m    *NodeMetrics
+	// known optionally gates peer sampling on routability: a transport
+	// with an address book (udpnet) may know fewer peers than the view
+	// believes live, and pushing to an unroutable peer only burns the
+	// emission. Nil (every in-process run) means one Pick draw exactly,
+	// which is what keeps the lockstep golden transcripts byte-stable.
+	known func(int) bool
+}
+
+// pick samples a live peer for an emission. With a known gate it
+// redraws a bounded number of times to land on a routable peer,
+// returning -1 when the book is still too empty; without one it is
+// exactly one View.Pick draw.
+func (mb *member) pick(now int64) int {
+	peer := mb.view.Pick(mb.rng, now)
+	if mb.known == nil {
+		return peer
+	}
+	for tries := 0; tries < 4 && peer >= 0 && !mb.known(peer); tries++ {
+		peer = mb.view.Pick(mb.rng, now)
+	}
+	if peer >= 0 && !mb.known(peer) {
+		return -1
+	}
+	return peer
 }
 
 // clusterRun is the shared run state of both drivers: the member table
@@ -486,42 +510,55 @@ type clusterRun struct {
 	ch      *Churner
 }
 
-// spawn builds (or wipes) the member for id. Initial members seed
-// their share of the tokens; joiners start empty. The view is a
-// snapshot of the nodes currently live — a joiner's contact list.
-func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
-	k := len(cr.toks)
-	d := cr.toks[0].D()
-	rng := rand.New(rand.NewSource(cr.cfg.Seed + 7919*int64(id) + 1))
+// newMember builds one node's full runtime state independent of any
+// driver: the gossiper (seeded with its stride-n share of the tokens
+// when seedTokens), a view marking every id flagged in live, the
+// node's seeded rng, and the buffer-ring packet plumbing. Both the
+// in-process drivers (via spawn) and the multi-process single-node
+// runtime (RunSingle) construct nodes through here, so the state —
+// including the rng derivation that the lockstep golden transcripts
+// pin — cannot drift between them.
+func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedTokens bool, live []bool, now int64, m *NodeMetrics) *member {
+	k := len(toks)
+	d := toks[0].D()
+	rng := rand.New(rand.NewSource(seed + 7919*int64(id) + 1))
 	var g gossiper
-	switch cr.cfg.Mode {
+	switch mode {
 	case Coded:
 		span := rlnc.NewSpan(k, token.UIDBits+d)
 		if seedTokens {
-			for j := id; j < k; j += cr.cfg.N {
-				span.Add(rlnc.Encode(j, k, TokenVec(cr.toks[j])))
+			for j := id; j < k; j += n {
+				span.Add(rlnc.Encode(j, k, TokenVec(toks[j])))
 			}
 		}
 		g = &codedNode{id: id, span: span, rng: rng}
 	case Forward:
 		set := token.NewSet()
 		if seedTokens {
-			for j := id; j < k; j += cr.cfg.N {
-				set.Add(cr.toks[j])
+			for j := id; j < k; j += n {
+				set.Add(toks[j])
 			}
 		}
 		g = &forwardNode{id: id, k: k, set: set, rng: rng}
 	}
-	view := NewView(id, cr.maxN)
-	for pid, l := range cr.live {
+	view := NewView(id, maxN)
+	for pid, l := range live {
 		if l {
 			view.Mark(pid, now)
 		}
 	}
-	mb := &member{id: id, g: g, view: view, rng: rng, m: &cr.res.Nodes[id]}
+	mb := &member{id: id, g: g, view: view, rng: rng, m: m}
 	mb.io.ring = NewBufRing(DefaultRingCap)
 	mb.m.Spawned = true
 	mb.m.Live = true
+	return mb
+}
+
+// spawn builds (or wipes) the member for id. Initial members seed
+// their share of the tokens; joiners start empty. The view is a
+// snapshot of the nodes currently live — a joiner's contact list.
+func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
+	mb := newMember(cr.cfg.Mode, cr.cfg.Seed, cr.toks, id, cr.cfg.N, cr.maxN, seedTokens, cr.live, now, &cr.res.Nodes[id])
 	cr.members[id] = mb
 	return mb
 }
@@ -571,14 +608,14 @@ func (mb *member) emit(tr Transport, fanout int, now int64, churn bool) {
 	for f := 0; f < fanout; f++ {
 		if !mb.g.emitInto(&mb.io.tx, int(mb.m.PacketsOut)) {
 			if f == 0 && churn {
-				if peer := mb.view.Pick(mb.rng, now); peer >= 0 {
+				if peer := mb.pick(now); peer >= 0 {
 					mb.buildHello(false)
 					mb.sendHello(tr, peer)
 				}
 			}
 			return
 		}
-		peer := mb.view.Pick(mb.rng, now)
+		peer := mb.pick(now)
 		if peer < 0 {
 			return
 		}

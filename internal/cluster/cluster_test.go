@@ -314,6 +314,31 @@ func TestChanTransportDropsOnFullInbox(t *testing.T) {
 	}
 }
 
+// TestChanTransportRecvOutOfRange pins the bounds contract on the
+// receive side: an id outside [0, n) must yield a nil (forever-
+// blocking) channel, not an index panic, mirroring Send's drop
+// behavior. Regression test for the one transport method that indexed
+// without a bounds check.
+func TestChanTransportRecvOutOfRange(t *testing.T) {
+	tr := NewChanTransport(2, 1)
+	defer tr.Close()
+	for _, id := range []int{-1, 2, 100} {
+		if ch := tr.Recv(id); ch != nil {
+			t.Errorf("Recv(%d) returned a live channel for an out-of-range id", id)
+		}
+	}
+	if ch := tr.Recv(1); ch == nil {
+		t.Error("Recv(1) returned nil for an in-range id")
+	}
+	// The nil channel must compose with select-based receive loops: a
+	// receive from it blocks rather than panicking or yielding.
+	select {
+	case <-tr.Recv(7):
+		t.Error("receive on out-of-range inbox yielded a value")
+	default:
+	}
+}
+
 func TestWithLossRate(t *testing.T) {
 	const sends = 10000
 	tr := WithLoss(NewChanTransport(2, sends), 0.3, 1)

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/token"
+)
+
+// AddressedTransport is implemented by transports that route by an
+// address book (udpnet) rather than a node-indexed table, and can
+// therefore say which peers are reachable right now. RunSingle uses it
+// to gate peer sampling so emissions are not burned on peers whose
+// address is still unknown. Middleware decorators embed the Transport
+// interface and so hide this method; callers wrapping an addressed
+// transport in middlewares should pass SingleConfig.Known explicitly.
+type AddressedTransport interface {
+	Transport
+	// Known reports whether the transport can currently route to id.
+	Known(id int) bool
+}
+
+// SingleConfig parameterizes one node of a multi-process cluster run.
+// Unlike Config there is no driver to spawn peers: the other N-1 nodes
+// are separate processes reachable only through the Transport.
+type SingleConfig struct {
+	// ID is this node's id in [0, N).
+	ID int
+	// N is the cluster size; token i is seeded at node i mod N, so every
+	// process must agree on N and on the token set (derived from the
+	// shared seed) for dissemination to verify.
+	N int
+	// Fanout is the number of peers contacted per emission (default 2).
+	Fanout int
+	// Mode selects coded or store-and-forward gossip.
+	Mode Mode
+	// Seed derives the node's randomness with the same per-id stream
+	// derivation the in-process drivers use.
+	Seed int64
+	// Transport carries the packets (required). RunSingle does NOT close
+	// it: in the multi-process shape the transport is the process's
+	// socket, owned by the caller, and typically outlives the gossip run
+	// (the linger phase and metric scraping still use its counters).
+	Transport Transport
+	// Known optionally gates peer sampling on routability. Nil falls
+	// back to the Transport's own AddressedTransport.Known when it has
+	// one, else sampling is ungated.
+	Known func(id int) bool
+	// Interval paces ticker emissions (default 500µs; multi-hundred
+	// -process runs on few cores want this much larger).
+	Interval time.Duration
+	// Timeout caps the whole run including linger (default 30s).
+	Timeout time.Duration
+	// Linger keeps the node gossiping after its own completion so that
+	// slower peers still receive combinations — the multi-process
+	// equivalent of the in-process run ending only when every node is
+	// done (default 2s; the launcher usually kills lingering nodes once
+	// all have reported DONE).
+	Linger time.Duration
+}
+
+func (c SingleConfig) fanout() int {
+	if c.Fanout > 0 {
+		return c.Fanout
+	}
+	return 2
+}
+
+func (c SingleConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 500 * time.Microsecond
+}
+
+func (c SingleConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+func (c SingleConfig) linger() time.Duration {
+	if c.Linger > 0 {
+		return c.Linger
+	}
+	return 2 * time.Second
+}
+
+// RunSingle runs ONE node of an N-node cluster dissemination: the
+// cmd/node process body. It seeds the node's stride-N share of toks,
+// gossips over cfg.Transport until the node holds all of them (then
+// verifies the decoded tokens against the originals), keeps emitting
+// for the linger window so peers can finish too, and returns the
+// node's metrics. A timeout or context cancellation before completion
+// returns with Done == false and a nil error — the caller decides
+// whether an incomplete run is a failure. The returned error is
+// reserved for misconfiguration and verification failures.
+func RunSingle(ctx context.Context, cfg SingleConfig, toks []token.Token) (NodeMetrics, error) {
+	var m NodeMetrics
+	k := len(toks)
+	if cfg.N < 1 {
+		return m, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.N)
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.N {
+		return m, fmt.Errorf("cluster: node id %d outside [0, %d)", cfg.ID, cfg.N)
+	}
+	if k < 1 {
+		return m, fmt.Errorf("cluster: need at least 1 token")
+	}
+	d := toks[0].D()
+	for i, t := range toks {
+		if t.D() != d {
+			return m, fmt.Errorf("cluster: token %d has %d payload bits, token 0 has %d", i, t.D(), d)
+		}
+	}
+	if cfg.Mode != Coded && cfg.Mode != Forward {
+		return m, fmt.Errorf("cluster: unknown mode %d", cfg.Mode)
+	}
+	if cfg.Transport == nil {
+		return m, fmt.Errorf("cluster: RunSingle needs a Transport (the process's socket)")
+	}
+
+	// Every peer starts presumed-live: membership here is static (the
+	// launcher starts all N processes); what is dynamic is routability,
+	// which the known gate covers as the address book fills.
+	live := make([]bool, cfg.N)
+	for i := range live {
+		live[i] = true
+	}
+	mb := newMember(cfg.Mode, cfg.Seed, toks, cfg.ID, cfg.N, cfg.N, true, live, 0, &m)
+	mb.known = cfg.Known
+	if mb.known == nil {
+		if at, ok := cfg.Transport.(AddressedTransport); ok {
+			mb.known = at.Known
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.timeout())
+	defer cancel()
+
+	start := time.Now()
+	now := func() int64 { return int64(time.Since(start)) }
+	emit := func() { mb.emit(cfg.Transport, cfg.fanout(), now(), false) }
+	markDone := func() bool {
+		if !m.Done && mb.g.complete() {
+			m.Done = true
+			m.DoneAt = time.Since(start)
+		}
+		return m.Done
+	}
+
+	var lingerC <-chan time.Time
+	if markDone() { // n == 1, or this node seeded everything
+		if err := mb.g.verify(toks); err != nil {
+			return m, fmt.Errorf("cluster: verification failed: %w", err)
+		}
+		lt := time.NewTimer(cfg.linger())
+		defer lt.Stop()
+		lingerC = lt.C
+	}
+
+	inbox := cfg.Transport.Recv(cfg.ID)
+	ticker := time.NewTicker(cfg.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return m, nil
+		case <-lingerC:
+			return m, nil
+		case raw := <-inbox:
+			if mb.recv(raw, now()) {
+				m.Innovative++
+				if markDone() && lingerC == nil {
+					// Verify at the completion edge, before lingering:
+					// a corrupt decode should fail loudly, not gossip on.
+					if err := mb.g.verify(toks); err != nil {
+						return m, fmt.Errorf("cluster: verification failed: %w", err)
+					}
+					lt := time.NewTimer(cfg.linger())
+					defer lt.Stop()
+					lingerC = lt.C
+				}
+				emit()
+			}
+		case <-ticker.C:
+			emit()
+		}
+	}
+}

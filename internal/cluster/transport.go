@@ -67,8 +67,16 @@ func (t *ChanTransport) Send(from, to int, pkt []byte) bool {
 	}
 }
 
-// Recv implements Transport.
-func (t *ChanTransport) Recv(id int) <-chan []byte { return t.inboxes[id] }
+// Recv implements Transport. An id outside [0, n) returns a nil
+// channel — which blocks forever on receive, the UDP-equivalent of
+// listening on an address nobody sends to — mirroring the bounds
+// behavior of Send (which drops) instead of panicking.
+func (t *ChanTransport) Recv(id int) <-chan []byte {
+	if id < 0 || id >= len(t.inboxes) {
+		return nil
+	}
+	return t.inboxes[id]
+}
 
 // Close implements Transport.
 func (t *ChanTransport) Close() { t.once.Do(func() { close(t.done) }) }

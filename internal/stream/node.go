@@ -121,6 +121,12 @@ type node struct {
 	// err records a delivery verification failure; the drivers abort
 	// the run when set.
 	err error
+
+	// known optionally gates peer sampling on routability: a transport
+	// with an address book (udpnet) may know fewer peers than the view
+	// believes live. Nil (every in-process run) keeps randPeer a single
+	// Pick draw, which the lockstep golden transcripts pin.
+	known func(int) bool
 }
 
 // newNode builds the runtime state for one node. live is the current
@@ -693,9 +699,20 @@ func (nd *node) emitAckInto(p *wire.Packet) {
 
 // randPeer picks a uniform live, unsuspected peer, or -1 when there is
 // none. With a full view it draws exactly as the static runtime did,
-// keeping churnless transcripts bit-identical.
+// keeping churnless transcripts bit-identical. With a known gate it
+// redraws a bounded number of times to land on a routable peer.
 func (nd *node) randPeer() int {
-	return nd.view.Pick(nd.rng, nd.now)
+	peer := nd.view.Pick(nd.rng, nd.now)
+	if nd.known == nil {
+		return peer
+	}
+	for tries := 0; tries < 4 && peer >= 0 && !nd.known(peer); tries++ {
+		peer = nd.view.Pick(nd.rng, nd.now)
+	}
+	if peer >= 0 && !nd.known(peer) {
+		return -1
+	}
+	return peer
 }
 
 // pushData sends up to fanout fresh coded packets to random peers,

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestStreamRunSingleCrossProcess runs N independent RunSingle bodies
+// — the cmd/node -mode stream process shape — over one shared
+// ChanTransport and requires every node to deliver the whole stream in
+// order, with every generation verified against the shared seeded
+// Source each process derives independently.
+func TestStreamRunSingleCrossProcess(t *testing.T) {
+	const n, k, d, gens, window = 4, 6, 32, 6, 3
+	tr := cluster.NewChanTransport(n, InboxBuffer(n, 2))
+	defer tr.Close()
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]NodeMetrics, n)
+	errs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id], errs[id] = RunSingle(context.Background(), SingleConfig{
+				ID: id, N: n, K: k, PayloadBits: d, Window: window,
+				Generations: gens, Seed: 33, Transport: tr,
+				Timeout: 30 * time.Second, Linger: 500 * time.Millisecond,
+			})
+			delivered.Add(int64(results[id].Delivered))
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			t.Fatalf("node %d: %v", id, errs[id])
+		}
+		if !results[id].Done {
+			t.Errorf("node %d delivered %d/%d generations", id, results[id].Delivered, gens)
+		}
+	}
+	if got, want := delivered.Load(), int64(n*gens); got != want {
+		t.Errorf("total deliveries %d, want %d", got, want)
+	}
+}
+
+// TestStreamRunSingleValidation pins the misconfiguration errors.
+func TestStreamRunSingleValidation(t *testing.T) {
+	tr := cluster.NewChanTransport(2, 1)
+	defer tr.Close()
+	base := SingleConfig{ID: 0, N: 2, K: 2, PayloadBits: 8, Generations: 2, Transport: tr}
+	cases := []struct {
+		name string
+		mut  func(c SingleConfig) SingleConfig
+	}{
+		{"no transport", func(c SingleConfig) SingleConfig { c.Transport = nil; return c }},
+		{"id out of range", func(c SingleConfig) SingleConfig { c.ID = 2; return c }},
+		{"negative id", func(c SingleConfig) SingleConfig { c.ID = -1; return c }},
+		{"zero k", func(c SingleConfig) SingleConfig { c.K = 0; return c }},
+		{"zero payload", func(c SingleConfig) SingleConfig { c.PayloadBits = 0; return c }},
+		{"zero generations", func(c SingleConfig) SingleConfig { c.Generations = 0; return c }},
+		{"negative window", func(c SingleConfig) SingleConfig { c.Window = -1; return c }},
+	}
+	for _, tc := range cases {
+		if _, err := RunSingle(context.Background(), tc.mut(base)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -39,12 +39,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 		Peers:     []PeerMark{{Node: 0, Watermark: 4}, {Node: 1, Watermark: 6}},
 	}).Marshal()
 	seedHello := NewHello(4, 1, Hello{Leaving: true, Peers: []uint32{0, 2, 5}}).Marshal()
+	seedAnnounce := NewAnnounce(0, 3, Announce{Op: AnnouncePong, MsgID: 17, Addrs: []AddrEntry{
+		{Node: 0, Addr: "127.0.0.1:9000"},
+		{Node: 2, Addr: "[::1]:9002"},
+	}}).Marshal()
 	f.Add(seedCoded)
 	f.Add(seedToken)
 	f.Add(seedAck)
 	f.Add(seedHello)
+	f.Add(seedAnnounce)
 	f.Add(NewAck(0, 0, Ack{}).Marshal())
 	f.Add(NewHello(0, 0, Hello{}).Marshal())
+	f.Add(NewAnnounce(0, 0, Announce{Op: AnnouncePing, MsgID: 1}).Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{Version, byte(TypeCoded), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
@@ -92,7 +98,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		epoch := int(binary.LittleEndian.Uint32(data[4:8]) % (1 << 20))
 		bits := int(data[8]) + int(data[9]) // 0..510
 		body := data[12:]
-		switch data[10] % 4 {
+		switch data[10] % 5 {
 		case 0:
 			k := bits / 2
 			vec := bitsFrom(body, bits)
@@ -106,6 +112,23 @@ func FuzzWireRoundTrip(f *testing.F) {
 				h.Peers = append(h.Peers, binary.LittleEndian.Uint32(body[i:i+4]))
 			}
 			p = NewHello(sender, epoch, h)
+		case 4:
+			a := Announce{
+				Op:    AnnounceOp(data[11] % 4),
+				MsgID: binary.LittleEndian.Uint64(data[0:8]),
+			}
+			for i := 0; i+5 <= len(body) && i < 5*16; i += 5 {
+				alen := int(body[i+4]) % (MaxAddrBytes + 1)
+				addr := make([]byte, alen)
+				for j := range addr {
+					addr[j] = 'a' + body[(i+j)%len(body)]%26
+				}
+				a.Addrs = append(a.Addrs, AddrEntry{
+					Node: binary.LittleEndian.Uint32(body[i : i+4]),
+					Addr: string(addr),
+				})
+			}
+			p = NewAnnounce(sender, epoch, a)
 		default:
 			a := Ack{Watermark: uint32(data[11])}
 			for i := 0; i+8 <= len(body) && i < 8*16; i += 8 {
@@ -148,6 +171,11 @@ func FuzzWireRoundTrip(f *testing.F) {
 		case TypeHello:
 			if got.Hello.Leaving != p.Hello.Leaving || len(got.Hello.Peers) != len(p.Hello.Peers) {
 				t.Fatal("hello body changed")
+			}
+		case TypeAnnounce:
+			if got.Announce.Op != p.Announce.Op || got.Announce.MsgID != p.Announce.MsgID ||
+				len(got.Announce.Addrs) != len(p.Announce.Addrs) {
+				t.Fatal("announce body changed")
 			}
 		}
 		if !bytes.Equal(got.Marshal(), p.Marshal()) {

@@ -2,8 +2,9 @@
 // runtimes' protocol messages: network-coded packets (rlnc.Coded), raw
 // tokens (token.Token, for the store-and-forward baseline), streaming
 // progress acknowledgements (Ack), membership announcements (Hello),
-// and a small envelope header carrying version, message type, sender
-// and epoch.
+// address-book exchanges for the socket transport (Announce), and a
+// small envelope header carrying version, message type, sender and
+// epoch.
 //
 // The codec is the serialization boundary between the synchronous
 // simulator world (in-memory Message values whose cost is their Bits()
@@ -26,19 +27,23 @@
 //
 //	offset  size  field
 //	0       1     version (currently 1)
-//	1       1     type (1 = coded, 2 = token, 3 = ack, 4 = hello)
+//	1       1     type (1 = coded, 2 = token, 3 = ack, 4 = hello, 5 = announce)
 //	2       4     sender (uint32 node id)
 //	6       4     epoch (uint32 sender-local sequence/round)
 //
 // followed by a type-specific body:
 //
-//	coded:  uint32 k, uint32 vecBits, ceil(vecBits/8) bytes (LSB-first)
-//	token:  uint64 uid, uint32 payloadBits, ceil(payloadBits/8) bytes
-//	ack:    uint32 watermark,
-//	        uint32 nRanks,  nRanks × (uint32 gen, uint32 rank),
-//	        uint32 nPeers,  nPeers × (uint32 node, uint32 watermark)
-//	hello:  uint8 flags (0 = announce, 1 = leave; others rejected),
-//	        uint32 nPeers,  nPeers × uint32 node
+//	coded:    uint32 k, uint32 vecBits, ceil(vecBits/8) bytes (LSB-first)
+//	token:    uint64 uid, uint32 payloadBits, ceil(payloadBits/8) bytes
+//	ack:      uint32 watermark,
+//	          uint32 nRanks,  nRanks × (uint32 gen, uint32 rank),
+//	          uint32 nPeers,  nPeers × (uint32 node, uint32 watermark)
+//	hello:    uint8 flags (0 = announce, 1 = leave; others rejected),
+//	          uint32 nPeers,  nPeers × uint32 node
+//	announce: uint8 op (0 = ping, 1 = pong, 2 = lookup, 3 = lookup-ok;
+//	          others rejected), uint64 msgID,
+//	          uint32 nAddrs, nAddrs × (uint32 node, uint16 addrLen,
+//	          addrLen bytes "host:port", addrLen ≤ MaxAddrBytes)
 //
 // Wrap policy: Sender and Epoch are 32-bit on the wire and do NOT wrap.
 // The constructors (NewCoded, NewToken, NewAck, NewHello) panic on a
@@ -95,12 +100,25 @@ const (
 	// its current live-peer view, the control traffic that lets the
 	// cluster and stream runtimes run with dynamic membership.
 	TypeHello Type = 4
+	// TypeAnnounce is the socket transport's address-book exchange: a
+	// MsgID-correlated request/response pair (ping/pong for bootstrap,
+	// lookup/lookup-ok for targeted address resolution) carrying
+	// node-id → host:port entries. It is transport-level control — the
+	// in-process transports never emit it, and the gossip runtimes
+	// never see it (internal/udpnet consumes it in its read loop).
+	TypeAnnounce Type = 5
 )
 
-// MaxAckEntries caps the list lengths the decoder accepts in an ack
-// or hello body. Like MaxVecBits it only bounds decoder work on
-// adversarial input; real acks carry a handful of entries.
+// MaxAckEntries caps the list lengths the decoder accepts in an ack,
+// hello or announce body. Like MaxVecBits it only bounds decoder work
+// on adversarial input; real acks carry a handful of entries.
 const MaxAckEntries = 1 << 16
+
+// MaxAddrBytes caps one announce entry's host:port string. Far above
+// any real address (a bracketed IPv6 literal with scope and port fits
+// in well under 64 bytes); it exists to bound decoder work and keep
+// the encoder honest (AppendTo panics beyond it).
+const MaxAddrBytes = 255
 
 // MaxSender and MaxEpoch are the largest envelope values the 32-bit
 // wire fields can carry. The constructors panic beyond them rather
@@ -178,6 +196,67 @@ type Hello struct {
 // accounting: the flag byte plus one uint32 per listed peer.
 func (h Hello) Bits() int { return 8 + 32*len(h.Peers) }
 
+// AnnounceOp discriminates the four announce exchanges.
+type AnnounceOp uint8
+
+const (
+	// AnnouncePing is a bootstrap request: "here is my address, tell me
+	// yours". The body carries the sender's own advertised address.
+	AnnouncePing AnnounceOp = 0
+	// AnnouncePong answers a ping with the responder's address book.
+	AnnouncePong AnnounceOp = 1
+	// AnnounceLookup requests the addresses of specific node ids; its
+	// entries carry the target ids with empty address strings.
+	AnnounceLookup AnnounceOp = 2
+	// AnnounceLookupOK answers a lookup with the entries the responder
+	// could resolve (unknown targets are simply omitted).
+	AnnounceLookupOK AnnounceOp = 3
+)
+
+// String returns the op's protocol name.
+func (op AnnounceOp) String() string {
+	switch op {
+	case AnnouncePing:
+		return "ping"
+	case AnnouncePong:
+		return "pong"
+	case AnnounceLookup:
+		return "lookup"
+	case AnnounceLookupOK:
+		return "lookup-ok"
+	}
+	return fmt.Sprintf("AnnounceOp(%d)", uint8(op))
+}
+
+// AddrEntry is one announce address-book entry: a node id bound to the
+// host:port string peers should send its datagrams to. Lookup requests
+// use an empty Addr as "resolve this id for me".
+type AddrEntry struct {
+	Node uint32
+	Addr string
+}
+
+// Announce is the socket transport's control body: a request/response
+// pair correlated by MsgID through the sender's inflight map (the
+// D7024E pattern — the read loop parks no state, it just delivers the
+// response to the channel registered under MsgID).
+type Announce struct {
+	Op    AnnounceOp
+	MsgID uint64
+	Addrs []AddrEntry
+}
+
+// Bits returns the body's information content under the simulator's
+// accounting: op byte, 64-bit MsgID, and per entry a uint32 id, a
+// uint16 length and the address bytes.
+func (a Announce) Bits() int {
+	bits := 8 + 64
+	for _, e := range a.Addrs {
+		bits += 48 + 8*len(e.Addr)
+	}
+	return bits
+}
+
 // Packet is one decoded protocol message: the envelope plus exactly one
 // of the type-specific bodies (selected by Env.Type).
 type Packet struct {
@@ -190,6 +269,8 @@ type Packet struct {
 	Ack Ack
 	// Hello is valid iff Env.Type == TypeHello.
 	Hello Hello
+	// Announce is valid iff Env.Type == TypeAnnounce.
+	Announce Announce
 }
 
 // envelope builds the versioned header, enforcing the no-wrap policy:
@@ -233,6 +314,12 @@ func NewHello(sender, epoch int, h Hello) Packet {
 	return Packet{Env: envelope(TypeHello, sender, epoch), Hello: h}
 }
 
+// NewAnnounce wraps an address-book exchange in a versioned envelope.
+// It panics on a sender or epoch outside the 32-bit wire range.
+func NewAnnounce(sender, epoch int, a Announce) Packet {
+	return Packet{Env: envelope(TypeAnnounce, sender, epoch), Announce: a}
+}
+
 // Bits returns the wrapped message's size under the simulator's
 // accounting (rlnc.Coded.Bits or token.Token.Bits), which is what makes
 // wire costs comparable with dynnet.Metrics. Framing overhead is
@@ -247,6 +334,8 @@ func (p Packet) Bits() int {
 		return p.Ack.Bits()
 	case TypeHello:
 		return p.Hello.Bits()
+	case TypeAnnounce:
+		return p.Announce.Bits()
 	}
 	return 0
 }
@@ -262,6 +351,12 @@ func (p Packet) WireBytes() int {
 		return HeaderBytes + 12 + 8*(len(p.Ack.Ranks)+len(p.Ack.Peers))
 	case TypeHello:
 		return HeaderBytes + 5 + 4*len(p.Hello.Peers)
+	case TypeAnnounce:
+		n := HeaderBytes + 13
+		for _, e := range p.Announce.Addrs {
+			n += 6 + len(e.Addr)
+		}
+		return n
 	}
 	return HeaderBytes
 }
@@ -314,6 +409,22 @@ func (p Packet) AppendTo(buf []byte) []byte {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Hello.Peers)))
 		for _, id := range p.Hello.Peers {
 			out = binary.LittleEndian.AppendUint32(out, id)
+		}
+	case TypeAnnounce:
+		a := p.Announce
+		if a.Op > AnnounceLookupOK {
+			panic(fmt.Sprintf("wire: marshal of unknown announce op %d", a.Op))
+		}
+		out = append(out, byte(a.Op))
+		out = binary.LittleEndian.AppendUint64(out, a.MsgID)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(a.Addrs)))
+		for _, e := range a.Addrs {
+			if len(e.Addr) > MaxAddrBytes {
+				panic(fmt.Sprintf("wire: announce addr for node %d is %d bytes (max %d)", e.Node, len(e.Addr), MaxAddrBytes))
+			}
+			out = binary.LittleEndian.AppendUint32(out, e.Node)
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Addr)))
+			out = append(out, e.Addr...)
 		}
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown type %d", p.Env.Type))
@@ -449,6 +560,43 @@ func UnmarshalInto(p *Packet, data []byte) error {
 		h.Peers = h.Peers[:0]
 		for i := 0; i < int(nPeers); i++ {
 			h.Peers = append(h.Peers, binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		p.Env = env
+		return nil
+	case TypeAnnounce:
+		if len(body) < 13 {
+			return fmt.Errorf("%w: announce body %d bytes < 13", ErrTruncated, len(body))
+		}
+		if body[0] > byte(AnnounceLookupOK) {
+			return fmt.Errorf("%w: announce op %d (only 0-3 defined)", ErrMalformed, body[0])
+		}
+		nAddrs := binary.LittleEndian.Uint32(body[9:13])
+		if nAddrs > MaxAckEntries {
+			return fmt.Errorf("%w: announce entry count %d exceeds cap", ErrMalformed, nAddrs)
+		}
+		a := &p.Announce
+		a.Op = AnnounceOp(body[0])
+		a.MsgID = binary.LittleEndian.Uint64(body[1:9])
+		a.Addrs = a.Addrs[:0]
+		rest := body[13:]
+		for i := 0; i < int(nAddrs); i++ {
+			if len(rest) < 6 {
+				return fmt.Errorf("%w: announce entry %d header: %d bytes < 6", ErrTruncated, i, len(rest))
+			}
+			node := binary.LittleEndian.Uint32(rest[0:4])
+			alen := int(binary.LittleEndian.Uint16(rest[4:6]))
+			if alen > MaxAddrBytes {
+				return fmt.Errorf("%w: announce addr %d bytes exceeds cap %d", ErrMalformed, alen, MaxAddrBytes)
+			}
+			rest = rest[6:]
+			if len(rest) < alen {
+				return fmt.Errorf("%w: announce entry %d addr: %d bytes < %d", ErrTruncated, i, len(rest), alen)
+			}
+			a.Addrs = append(a.Addrs, AddrEntry{Node: node, Addr: string(rest[:alen])})
+			rest = rest[alen:]
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%w: %d trailing announce bytes", ErrMalformed, len(rest))
 		}
 		p.Env = env
 		return nil

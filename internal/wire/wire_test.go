@@ -170,6 +170,115 @@ func TestHelloUnmarshalRejects(t *testing.T) {
 	}
 }
 
+func TestAnnounceRoundTrip(t *testing.T) {
+	anns := []Announce{
+		{},
+		{Op: AnnouncePing, MsgID: 1, Addrs: []AddrEntry{{Node: 0, Addr: "127.0.0.1:9000"}}},
+		{Op: AnnouncePong, MsgID: 7, Addrs: []AddrEntry{
+			{Node: 0, Addr: "127.0.0.1:9000"},
+			{Node: 3, Addr: "[::1]:9003"},
+		}},
+		{Op: AnnounceLookup, MsgID: 1 << 60, Addrs: []AddrEntry{{Node: 9}}},
+		{Op: AnnounceLookupOK, MsgID: 42, Addrs: []AddrEntry{{Node: 9, Addr: "10.0.0.9:12345"}}},
+	}
+	for i, a := range anns {
+		p := NewAnnounce(i, i*2, a)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("announce %d: %v", i, err)
+		}
+		if got.Env != p.Env {
+			t.Errorf("announce %d: envelope mismatch", i)
+		}
+		if got.Announce.Op != a.Op || got.Announce.MsgID != a.MsgID ||
+			len(got.Announce.Addrs) != len(a.Addrs) {
+			t.Errorf("announce %d: body %+v does not round-trip to %+v", i, a, got.Announce)
+		}
+		for j := range a.Addrs {
+			if got.Announce.Addrs[j] != a.Addrs[j] {
+				t.Errorf("announce %d entry %d: %+v != %+v", i, j, got.Announce.Addrs[j], a.Addrs[j])
+			}
+		}
+		wantBits := 8 + 64
+		wantWire := HeaderBytes + 13
+		for _, e := range a.Addrs {
+			wantBits += 48 + 8*len(e.Addr)
+			wantWire += 6 + len(e.Addr)
+		}
+		if p.Bits() != wantBits {
+			t.Errorf("announce %d: Bits %d, want %d", i, p.Bits(), wantBits)
+		}
+		if len(p.Marshal()) != wantWire || p.WireBytes() != wantWire {
+			t.Errorf("announce %d: wire size %d (WireBytes %d), want %d", i, len(p.Marshal()), p.WireBytes(), wantWire)
+		}
+	}
+}
+
+func TestAnnounceUnmarshalRejects(t *testing.T) {
+	good := NewAnnounce(1, 2, Announce{Op: AnnouncePong, MsgID: 5, Addrs: []AddrEntry{
+		{Node: 4, Addr: "127.0.0.1:9004"},
+		{Node: 5, Addr: "127.0.0.1:9005"},
+	}}).Marshal()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short body", good[:HeaderBytes+12], ErrTruncated},
+		{"entry header truncated", good[:HeaderBytes+13+3], ErrTruncated},
+		{"addr bytes truncated", good[:len(good)-1], ErrTruncated},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Undefined op values are rejected: canonical encodings use only
+	// ping/pong/lookup/lookup-ok.
+	for _, op := range []byte{4, 9, 0xff} {
+		bad := append([]byte(nil), good...)
+		bad[HeaderBytes] = op
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("op %#x accepted: %v", op, err)
+		}
+	}
+	// Oversized entry count must be rejected before any allocation.
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(huge[HeaderBytes+9:], MaxAckEntries+1)
+	if _, err := Unmarshal(huge); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized entry count accepted: %v", err)
+	}
+	// An address length beyond MaxAddrBytes is malformed even when the
+	// remaining body could satisfy it.
+	long := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(long[HeaderBytes+13+4:], MaxAddrBytes+1)
+	if _, err := Unmarshal(long); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized addr length accepted: %v", err)
+	}
+}
+
+// TestAnnounceMarshalPanics pins the encoder-side contract: building
+// wire bytes for an undefined op or an address the uint16 length field
+// cannot carry is a programming error, not a silent truncation.
+func TestAnnounceMarshalPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad op", func() {
+		NewAnnounce(0, 0, Announce{Op: 4}).Marshal()
+	})
+	mustPanic("oversized addr", func() {
+		NewAnnounce(0, 0, Announce{Addrs: []AddrEntry{{Node: 0, Addr: string(make([]byte, MaxAddrBytes+1))}}}).Marshal()
+	})
+}
+
 // TestEnvelopeRangePanics pins the no-wrap policy: a sender or epoch
 // the 32-bit wire fields cannot carry must panic in the constructor
 // instead of silently truncating, so generation g and g+2^32 can never
@@ -263,6 +372,26 @@ func TestGoldenWireBytes(t *testing.T) {
 				0x02, 0x00, 0x00, 0x00, // 2 peer entries
 				0x02, 0x00, 0x00, 0x00, // peer 2
 				0x04, 0x03, 0x02, 0x01, // peer 0x01020304, little-endian
+			},
+		},
+		{
+			"announce",
+			NewAnnounce(11, 12, Announce{
+				Op:    AnnouncePong,
+				MsgID: 0x0102030405060708,
+				Addrs: []AddrEntry{{Node: 2, Addr: "a:1"}},
+			}),
+			[]byte{
+				0x01,                   // version
+				0x05,                   // type = announce
+				0x0b, 0x00, 0x00, 0x00, // sender
+				0x0c, 0x00, 0x00, 0x00, // epoch
+				0x01,                                           // op = pong
+				0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // msgID, little-endian
+				0x01, 0x00, 0x00, 0x00, // 1 address entry
+				0x02, 0x00, 0x00, 0x00, // node 2
+				0x03, 0x00, // addr length 3
+				0x61, 0x3a, 0x31, // "a:1"
 			},
 		},
 		{
@@ -435,6 +564,10 @@ func samplePackets(t *testing.T) []Packet {
 			Peers:     []PeerMark{{Node: 0, Watermark: 6}, {Node: 3, Watermark: 5}},
 		}),
 		NewHello(5, 0, Hello{Leaving: true, Peers: []uint32{1, 4, 6}}),
+		NewAnnounce(6, 2, Announce{Op: AnnounceLookupOK, MsgID: 99, Addrs: []AddrEntry{
+			{Node: 1, Addr: "127.0.0.1:9001"},
+			{Node: 4, Addr: "[::1]:9004"},
+		}}),
 	}
 }
 
