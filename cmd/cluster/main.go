@@ -39,6 +39,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -59,17 +60,19 @@ func main() {
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
 		churn    = flag.String("churn", "", `membership schedule, e.g. "join:500:2,crash:1000:1" (kinds: join|leave|crash|restart|rejoin)`)
+		trace    = flag.String("trace", "", "trace the run and render cluster-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
+		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *n, *k, *payload, *loss, *fanout, *mode, *tp, *seed,
-		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn); err != nil {
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec string) error {
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, traceDir, traceFile string) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
 		return err
 	}
@@ -102,15 +105,30 @@ func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp 
 		return err
 	}
 
+	var rec *telemetry.Recorder
+	if traceDir != "" || traceFile != "" {
+		rec = telemetry.New(telemetry.Config{Nodes: maxN})
+		rec.SetMeta("driver", "cluster")
+		rec.SetMeta("mode", modeName)
+		rec.SetMeta("n", fmt.Sprint(n))
+		rec.SetMeta("k", fmt.Sprint(k))
+		rec.SetMeta("loss", fmt.Sprint(loss))
+		rec.SetMeta("transport", tp)
+		rec.SetMeta("seed", fmt.Sprint(seed))
+	}
+
 	toks := token.RandomSet(k, payload, rand.New(rand.NewSource(seed)))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := cluster.Run(ctx, cluster.Config{
 		N: n, Fanout: fanout, Mode: mode, Seed: seed, Transport: tr,
 		Interval: interval, Timeout: timeout, Lockstep: lockstep, MaxTicks: maxTicks,
-		Churn: sched,
+		Churn: sched, Telemetry: rec,
 	}, toks)
 	if err != nil {
+		return err
+	}
+	if err := cliutil.ExportTelemetry(rec, traceDir, traceFile, "cluster", false); err != nil {
 		return err
 	}
 

@@ -26,19 +26,27 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -debug-addr
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/udpnet"
 )
@@ -68,6 +76,10 @@ type options struct {
 	reorder float64
 
 	metrics string
+
+	trace     string
+	telem     string
+	debugAddr string
 }
 
 func main() {
@@ -90,8 +102,14 @@ func main() {
 	flag.DurationVar(&o.delay, "delay", 0, "injected per-packet latency upper bound")
 	flag.Float64Var(&o.reorder, "reorder", 0, "injected packet reordering rate in [0,1)")
 	flag.StringVar(&o.metrics, "metrics", "", "write key=value metrics to this file")
+	flag.StringVar(&o.trace, "trace", "", "trace the run and render node<id>-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
+	flag.StringVar(&o.telem, "telemetry", "", "trace the run and write the telemetry v1 text export to this file")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on this address (host:port; port 0 = ephemeral)")
 	flag.Parse()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM joins SIGINT so a `kill` (what launchers and CI send)
+	// drains through the same cancellation path and still flushes the
+	// metrics file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "node %d: %v\n", o.id, err)
@@ -127,6 +145,68 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	}
 	defer tr.Close()
 	fmt.Fprintf(w, "LISTEN id=%d addr=%s\n", o.id, tr.LocalAddr())
+
+	var rec *telemetry.Recorder
+	if o.trace != "" || o.telem != "" {
+		rec = telemetry.New(telemetry.Config{Nodes: o.n})
+		rec.SetMeta("driver", "node")
+		rec.SetMeta("id", fmt.Sprint(o.id))
+		rec.SetMeta("n", fmt.Sprint(o.n))
+		rec.SetMeta("mode", o.mode)
+		rec.SetMeta("k", fmt.Sprint(o.k))
+		rec.SetMeta("seed", fmt.Sprint(o.seed))
+	}
+
+	if o.debugAddr != "" {
+		ln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return err
+		}
+		publishDebugVars()
+		curTransport.Store(tr)
+		curRecorder.Store(rec)
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(w, "DEBUG id=%d addr=%s\n", o.id, ln.Addr())
+	}
+
+	// The metrics file and telemetry exports flush on EVERY exit path —
+	// signal, timeout, bootstrap failure, verification error — so a
+	// killed node still leaves its partial counters for the launcher to
+	// aggregate. The deferred flush is the crash path; the success path
+	// flushes explicitly so write errors surface as run errors.
+	kv := [][2]string{}
+	add := func(key string, val any) { kv = append(kv, [2]string{key, fmt.Sprint(val)}) }
+	stopSampler := func() {}
+	flushed := false
+	flush := func() error {
+		flushed = true
+		stopSampler() // exports must see a quiet recorder
+		s := tr.Stats()
+		add("udp_datagrams", s.Datagrams)
+		add("udp_gossip", s.Gossip)
+		add("udp_announces", s.Announces)
+		add("udp_drop_oversize", s.DropOversize)
+		add("udp_drop_truncated", s.DropTruncated)
+		add("udp_drop_version", s.DropVersion)
+		add("udp_drop_type", s.DropType)
+		add("udp_drop_malformed", s.DropMalformed)
+		add("udp_drop_inbox_full", s.DropInboxFull)
+		add("udp_drop_unknown_peer", s.DropUnknownPeer)
+		add("udp_write_errors", s.WriteErrors)
+		if o.metrics != "" {
+			if err := writeMetrics(o.metrics, o.id, kv); err != nil {
+				return err
+			}
+		}
+		return cliutil.ExportTelemetry(rec, o.trace, o.telem, fmt.Sprintf("node%d", o.id), streamMode)
+	}
+	defer func() {
+		if !flushed {
+			flush() // crash path: best-effort, the run's own error wins
+		}
+	}()
 
 	// Wrap before bootstrapping so a bad middleware knob fails fast.
 	// The middlewares hide the socket transport's Known method, which is
@@ -167,8 +247,47 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		fmt.Fprintf(w, "BOOT id=%d known=%d/%d\n", o.id, tr.BookSize(), o.n)
 	}
 
-	kv := [][2]string{}
-	add := func(key string, val any) { kv = append(kv, [2]string{key, fmt.Sprint(val)}) }
+	// One sampling loop per process feeds the socket accounting series;
+	// flush joins it (via stopSampler) so the exports see a quiet
+	// recorder.
+	if rec != nil {
+		start := time.Now()
+		sctx, scancel := context.WithCancel(ctx)
+		samplerDone := make(chan struct{})
+		var stopOnce sync.Once
+		stopSampler = func() {
+			stopOnce.Do(func() {
+				scancel()
+				<-samplerDone
+			})
+		}
+		go func() {
+			defer close(samplerDone)
+			every := 10 * o.interval
+			if every < 10*time.Millisecond {
+				every = 10 * time.Millisecond
+			}
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case <-tick.C:
+					s := tr.Stats()
+					rec.SampleNet(time.Since(start).Milliseconds(), telemetry.NetCounters{
+						Datagrams: s.Datagrams, Gossip: s.Gossip, Announces: s.Announces,
+						DropOversize: s.DropOversize, DropTruncated: s.DropTruncated,
+						DropVersion: s.DropVersion, DropType: s.DropType,
+						DropMalformed: s.DropMalformed, DropInboxFull: s.DropInboxFull,
+						DropUnknownPeer: s.DropUnknownPeer, WriteErrors: s.WriteErrors,
+					})
+				}
+			}
+		}()
+		defer stopSampler()
+	}
+
 	var done bool
 	if streamMode {
 		m, err := stream.RunSingle(ctx, stream.SingleConfig{
@@ -177,6 +296,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			Fanout: o.fanout, Seed: o.seed,
 			Transport: wrapped, Known: tr.Known,
 			Interval: o.interval, Timeout: o.timeout, Linger: o.linger,
+			Telemetry: rec,
 		})
 		if err != nil {
 			return err
@@ -200,6 +320,7 @@ func run(ctx context.Context, w io.Writer, o options) error {
 			ID: o.id, N: o.n, Fanout: o.fanout, Mode: cluster.Coded, Seed: o.seed,
 			Transport: wrapped, Known: tr.Known,
 			Interval: o.interval, Timeout: o.timeout, Linger: o.linger,
+			Telemetry: rec,
 		}, toks)
 		if err != nil {
 			return err
@@ -214,27 +335,38 @@ func run(ctx context.Context, w io.Writer, o options) error {
 		add("innovative", m.Innovative)
 		fmt.Fprintf(w, "DONE id=%d ok=%v innovative=%d packets_out=%d\n", o.id, m.Done, m.Innovative, m.PacketsOut)
 	}
-	s := tr.Stats()
-	add("udp_datagrams", s.Datagrams)
-	add("udp_gossip", s.Gossip)
-	add("udp_announces", s.Announces)
-	add("udp_drop_oversize", s.DropOversize)
-	add("udp_drop_truncated", s.DropTruncated)
-	add("udp_drop_version", s.DropVersion)
-	add("udp_drop_type", s.DropType)
-	add("udp_drop_malformed", s.DropMalformed)
-	add("udp_drop_inbox_full", s.DropInboxFull)
-	add("udp_drop_unknown_peer", s.DropUnknownPeer)
-	add("udp_write_errors", s.WriteErrors)
-	if o.metrics != "" {
-		if err := writeMetrics(o.metrics, o.id, kv); err != nil {
-			return err
-		}
+	if err := flush(); err != nil {
+		return err
 	}
 	if !done {
 		return fmt.Errorf("did not complete within %v", o.timeout)
 	}
 	return nil
+}
+
+// The expvar surface is published once per process (expvar.Publish
+// panics on duplicates, and tests drive run() repeatedly); the Funcs
+// indirect through atomic holders so each run swaps in its own live
+// sources. Only race-safe snapshots are exposed: udpnet.Stats reads
+// atomics, Recorder.Counters is the recorder's concurrent surface.
+var (
+	publishOnce  sync.Once
+	curTransport atomic.Pointer[udpnet.Transport]
+	curRecorder  atomic.Pointer[telemetry.Recorder]
+)
+
+func publishDebugVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("udpnet", expvar.Func(func() any {
+			if tr := curTransport.Load(); tr != nil {
+				return tr.Stats()
+			}
+			return nil
+		}))
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return curRecorder.Load().Counters() // nil recorder → nil map
+		}))
+	})
 }
 
 // writeMetrics dumps the node's counters as sorted key=value lines —

@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -155,4 +156,165 @@ func TestTwoNodeStreamSmoke(t *testing.T) {
 			t.Errorf("node %d did not deliver the full stream:\n%s", id, got)
 		}
 	}
+}
+
+// TestMetricsFlushOnCancel pins satellite behavior: a node killed
+// mid-run (context cancellation stands in for SIGINT/SIGTERM, which
+// main routes through the same NotifyContext) must still leave its
+// metrics file with the socket counters, plus its telemetry export.
+func TestMetricsFlushOnCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket integration test skipped with -short")
+	}
+	dir := t.TempDir()
+	o := validOptions()
+	o.metrics = filepath.Join(dir, "node0.metrics")
+	o.telem = filepath.Join(dir, "node0.telemetry")
+	// No peer ever answers: the node blocks (in bootstrap or the run
+	// loop) until killed.
+	o.timeout = 20 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(300*time.Millisecond, cancel)
+	err := run(ctx, io.Discard, o)
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	raw, rerr := os.ReadFile(o.metrics)
+	if rerr != nil {
+		t.Fatalf("canceled run left no metrics file: %v", rerr)
+	}
+	for _, key := range []string{"id=0\n", "udp_datagrams="} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("flushed metrics lack %q:\n%s", key, raw)
+		}
+	}
+	if tel, rerr := os.ReadFile(o.telem); rerr != nil {
+		t.Errorf("canceled run left no telemetry export: %v", rerr)
+	} else if !strings.HasPrefix(string(tel), "telemetry v1\n") {
+		t.Errorf("telemetry export lacks the v1 header:\n%.80s", tel)
+	}
+}
+
+// TestMetricsFlushOnBootstrapFailure covers the crash path before the
+// gossip loop even starts: a node whose bootstrap peer never exists
+// must error out AND still flush the socket counters it did record.
+func TestMetricsFlushOnBootstrapFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket integration test skipped with -short")
+	}
+	addrs := freeAddrs(t, 1)
+	dir := t.TempDir()
+	o := validOptions()
+	o.bootstrap = addrs[0] // reserved then released: nobody listens
+	o.id = 1
+	o.metrics = filepath.Join(dir, "node1.metrics")
+	o.timeout = 400 * time.Millisecond
+	err := run(context.Background(), io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "bootstrap") {
+		t.Fatalf("bootstrap against a dead peer returned %v", err)
+	}
+	raw, rerr := os.ReadFile(o.metrics)
+	if rerr != nil {
+		t.Fatalf("failed bootstrap left no metrics file: %v", rerr)
+	}
+	if !strings.Contains(string(raw), "udp_datagrams=") {
+		t.Errorf("flushed metrics lack socket counters:\n%s", raw)
+	}
+}
+
+// TestDebugEndpointsServe pins the -debug-addr surface: the process
+// prints the bound DEBUG address and serves both the pprof index and
+// the expvar JSON (including the published udpnet and telemetry vars)
+// while the run is live; run() being driven twice must not re-panic
+// expvar.Publish.
+func TestDebugEndpointsServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket integration test skipped with -short")
+	}
+	for round := 0; round < 2; round++ {
+		addrs := freeAddrs(t, 2)
+		dir := t.TempDir()
+		var out lockedBuffer
+		o := validOptions()
+		o.addr = addrs[0]
+		o.debugAddr = "127.0.0.1:0"
+		o.trace = dir
+		o.metrics = filepath.Join(dir, "node0.metrics")
+		o.timeout = 20 * time.Second
+
+		debugUp := make(chan string, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, &out, o) }()
+		go func() {
+			for i := 0; i < 100; i++ {
+				if line := out.String(); strings.Contains(line, "DEBUG id=0 addr=") {
+					f := strings.Fields(line[strings.Index(line, "DEBUG"):])
+					debugUp <- strings.TrimPrefix(f[2], "addr=")
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			debugUp <- ""
+		}()
+		addr := <-debugUp
+		if addr == "" {
+			cancel()
+			t.Fatalf("round %d: no DEBUG line:\n%s", round, out.String())
+		}
+		for path, want := range map[string]string{
+			"/debug/pprof/": "goroutine",
+			"/debug/vars":   "udpnet",
+		} {
+			body, err := httpGet("http://" + addr + path)
+			if err != nil {
+				t.Fatalf("round %d: GET %s: %v", round, path, err)
+			}
+			if !strings.Contains(body, want) {
+				t.Errorf("round %d: %s response lacks %q:\n%.200s", round, path, want, body)
+			}
+		}
+		if body, err := httpGet("http://" + addr + "/debug/vars"); err != nil {
+			t.Fatal(err)
+		} else if !strings.Contains(body, "telemetry") {
+			t.Errorf("round %d: expvar lacks the telemetry var:\n%.200s", round, body)
+		}
+		cancel()
+		if err := <-done; err == nil {
+			t.Fatalf("round %d: canceled run reported success", round)
+		}
+		// The traced, canceled run still rendered its artifact set.
+		if _, err := os.Stat(filepath.Join(dir, "node0-heatmap.svg")); err != nil {
+			t.Errorf("round %d: traced run left no heatmap: %v", round, err)
+		}
+	}
+}
+
+// lockedBuffer lets the test poll run()'s output while run is still
+// writing it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -58,10 +59,12 @@ func main() {
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
 		churn    = flag.String("churn", "", `membership schedule, e.g. "crash:30:1,join:60:1" (kinds: join|leave|crash|restart|rejoin)`)
+		trace    = flag.String("trace", "", "trace the run and render stream-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
+		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *n, *k, *payload, *window, *gens, *loss, *fanout, *tp, *seed,
-		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn); err != nil {
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "stream:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func validate(n, k, payload, window, gens, fanout, buffer int, loss, reorder flo
 }
 
 func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec string) error {
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, traceDir, traceFile string) error {
 	if err := validate(n, k, payload, window, gens, fanout, buffer, loss, reorder); err != nil {
 		return err
 	}
@@ -107,14 +110,30 @@ func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int,
 		return err
 	}
 
+	var rec *telemetry.Recorder
+	if traceDir != "" || traceFile != "" {
+		rec = telemetry.New(telemetry.Config{Nodes: maxN})
+		rec.SetMeta("driver", "stream")
+		rec.SetMeta("n", fmt.Sprint(n))
+		rec.SetMeta("k", fmt.Sprint(k))
+		rec.SetMeta("window", fmt.Sprint(window))
+		rec.SetMeta("generations", fmt.Sprint(gens))
+		rec.SetMeta("loss", fmt.Sprint(loss))
+		rec.SetMeta("transport", tp)
+		rec.SetMeta("seed", fmt.Sprint(seed))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := stream.Run(ctx, stream.Config{
 		N: n, K: k, PayloadBits: payload, Window: window, Generations: gens, Fanout: fanout,
 		Seed: seed, Transport: tr, Lockstep: lockstep, MaxTicks: maxTicks,
-		Interval: interval, Timeout: timeout, Churn: sched,
+		Interval: interval, Timeout: timeout, Churn: sched, Telemetry: rec,
 	})
 	if err != nil {
+		return err
+	}
+	if err := cliutil.ExportTelemetry(rec, traceDir, traceFile, "stream", true); err != nil {
 		return err
 	}
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ type runArgs struct {
 	reorder                     float64
 	buffer, maxTick             int
 	churn                       string
+	trace, telem                string
 }
 
 func defaults() runArgs {
@@ -30,7 +33,8 @@ func (a runArgs) run(w io.Writer) error {
 		w = io.Discard
 	}
 	return run(w, a.n, a.k, a.payload, a.window, a.gens, a.loss, a.fanout, a.tp, a.seed,
-		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn)
+		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn,
+		a.trace, a.telem)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -134,5 +138,35 @@ func TestRunIncompleteOutputIsSane(t *testing.T) {
 	}
 	if !strings.Contains(s, "did NOT complete") {
 		t.Errorf("output does not flag the partial run:\n%s", s)
+	}
+}
+
+// TestRunTraceExportsArtifacts drives run with both telemetry flags
+// set and checks the full artifact set lands: the standard rendered
+// file set in -trace's directory and the bare v1 text export at
+// -telemetry's path, all non-empty and schema-framed.
+func TestRunTraceExportsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	a := defaults()
+	a.trace = dir
+	a.telem = filepath.Join(dir, "export.txt")
+	if err := a.run(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"stream-telemetry.txt", "stream-heatmap.svg",
+		"stream-timeline.svg", "stream-packetflow.svg", "export.txt",
+	} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact: %v", err)
+			continue
+		}
+		if len(b) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if strings.HasSuffix(name, ".txt") && !strings.HasPrefix(string(b), "telemetry v1\n") {
+			t.Errorf("%s does not start with the v1 schema header", name)
+		}
 	}
 }

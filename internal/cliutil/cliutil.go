@@ -7,9 +7,11 @@ package cliutil
 import (
 	"fmt"
 	"net"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // ValidateGossip rejects the flag values common to every gossip CLI
@@ -148,4 +150,34 @@ func WrapHostile(tr cluster.Transport, delay time.Duration, reorder, loss float6
 		tr = cluster.WithLoss(tr, loss, seed+103)
 	}
 	return tr, nil
+}
+
+// ExportTelemetry writes a traced run's artifacts from the shared
+// -trace / -telemetry CLI flags: dir gets the standard rendered file
+// set (text export, heatmap, timeline, packet flow) under prefix, and
+// file gets just the v1 text export. A nil recorder (tracing off) is a
+// no-op, so callers can invoke it unconditionally.
+func ExportTelemetry(rec *telemetry.Recorder, dir, file, prefix string, watermark bool) error {
+	if rec == nil {
+		return nil
+	}
+	if file != "" {
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if dir != "" {
+		if err := rec.WriteFiles(dir, prefix, watermark); err != nil {
+			return err
+		}
+	}
+	return nil
 }

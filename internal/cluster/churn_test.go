@@ -315,3 +315,58 @@ func TestLockstepChurnGridCompletes(t *testing.T) {
 		}
 	}
 }
+
+// TestLockstepChurnAggregateMetrics pins the Result aggregate math
+// across a churned run: every aggregate equals the sum over the
+// per-node slots with each id counted exactly once. Leavers and
+// crashers keep their final counters in the sum, restarts and rejoins
+// reuse their id's slot rather than adding one (so their pre-outage
+// traffic is never double-counted), unspawned ids stay zero, and
+// FinalLive matches the Live flags.
+func TestLockstepChurnAggregateMetrics(t *testing.T) {
+	const schedule = "join:5:1,crash:8:1,leave:12:1,restart:15:1,join:18:2,rejoin:25:1"
+	sched, err := ParseChurn(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{Coded, Forward} {
+		res := churnRun(t, 11, schedule, mode)
+		if !res.Completed {
+			t.Fatalf("%v churn run incomplete after %d ticks", mode, res.Ticks)
+		}
+		// One slot per id over the whole id space: a restart or rejoin
+		// must reuse its node's slot, not append a fresh one.
+		if want := 10 + sched.Joins(); len(res.Nodes) != want {
+			t.Fatalf("%v: %d node slots, want %d (restart/rejoin must reuse slots)", mode, len(res.Nodes), want)
+		}
+		var out, in, bits, dropped int64
+		live, departed := 0, 0
+		for id, m := range res.Nodes {
+			if !m.Spawned {
+				if m.PacketsOut != 0 || m.PacketsIn != 0 || m.BitsOut != 0 || m.Dropped != 0 || m.Live {
+					t.Errorf("%v: unspawned id %d has nonzero metrics %+v", mode, id, m)
+				}
+				continue
+			}
+			out += m.PacketsOut
+			in += m.PacketsIn
+			bits += m.BitsOut
+			dropped += m.Dropped
+			if m.Live {
+				live++
+			} else if m.PacketsOut > 0 {
+				departed++ // leaver/crasher whose traffic stays counted
+			}
+		}
+		if res.PacketsOut != out || res.PacketsIn != in || res.BitsOut != bits || res.Dropped != dropped {
+			t.Errorf("%v: aggregates (%d,%d,%d,%d) != per-node sums (%d,%d,%d,%d)",
+				mode, res.PacketsOut, res.PacketsIn, res.BitsOut, res.Dropped, out, in, bits, dropped)
+		}
+		if res.FinalLive != live {
+			t.Errorf("%v: FinalLive = %d, want %d live flags", mode, res.FinalLive, live)
+		}
+		if departed == 0 {
+			t.Errorf("%v: schedule has a leave and a crash but no departed node kept its counters", mode)
+		}
+	}
+}

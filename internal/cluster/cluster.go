@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/gf"
 	"repro/internal/rlnc"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/wire"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// caller-supplied Transport must be sized for it (the default
 	// transport is).
 	Churn *ChurnSchedule
+	// Telemetry optionally traces the run (nil = disabled, zero
+	// overhead). Size it for maxNodes (N + Churn.Joins()); events for
+	// ids beyond the recorder's space are discarded. Recording only
+	// observes — a traced lockstep run produces the same transcript as
+	// an untraced one.
+	Telemetry *telemetry.Recorder
 }
 
 // maxNodes is the run's node id space: the initial membership plus
@@ -228,6 +235,9 @@ type gossiper interface {
 	emitInto(p *wire.Packet, epoch int) bool
 	// complete reports whether the node holds all k tokens.
 	complete() bool
+	// progress is the node's decoding progress (span rank, or token
+	// count in forward mode) — the telemetry time series' rank column.
+	progress() int
 	// verify checks the node's final state against the originals.
 	verify(toks []token.Token) error
 }
@@ -292,6 +302,8 @@ func (c *codedNode) emitInto(p *wire.Packet, epoch int) bool {
 
 func (c *codedNode) complete() bool { return c.span.CanDecode() }
 
+func (c *codedNode) progress() int { return c.span.Rank() }
+
 func (c *codedNode) verify(toks []token.Token) error {
 	vecs, err := c.span.Decode()
 	if err != nil {
@@ -339,6 +351,8 @@ func (f *forwardNode) emitInto(p *wire.Packet, epoch int) bool {
 }
 
 func (f *forwardNode) complete() bool { return f.set.Len() >= f.k }
+
+func (f *forwardNode) progress() int { return f.set.Len() }
 
 func (f *forwardNode) verify(toks []token.Token) error {
 	for _, want := range toks {
@@ -469,6 +483,10 @@ type member struct {
 	rng  *rand.Rand
 	io   nodeIO
 	m    *NodeMetrics
+	// tel traces the node's protocol events; nil is the disabled state
+	// (every recording call is a nil-receiver no-op). Owned by the same
+	// goroutine/lockstep slot as the rest of the member.
+	tel *telemetry.Recorder
 	// known optionally gates peer sampling on routability: a transport
 	// with an address book (udpnet) may know fewer peers than the view
 	// believes live, and pushing to an unroutable peer only burns the
@@ -518,7 +536,7 @@ type clusterRun struct {
 // runtime (RunSingle) construct nodes through here, so the state —
 // including the rng derivation that the lockstep golden transcripts
 // pin — cannot drift between them.
-func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedTokens bool, live []bool, now int64, m *NodeMetrics) *member {
+func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedTokens bool, live []bool, now int64, m *NodeMetrics, tel *telemetry.Recorder) *member {
 	k := len(toks)
 	d := toks[0].D()
 	rng := rand.New(rand.NewSource(seed + 7919*int64(id) + 1))
@@ -547,7 +565,7 @@ func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedT
 			view.Mark(pid, now)
 		}
 	}
-	mb := &member{id: id, g: g, view: view, rng: rng, m: m}
+	mb := &member{id: id, g: g, view: view, rng: rng, m: m, tel: tel}
 	mb.io.ring = NewBufRing(DefaultRingCap)
 	mb.m.Spawned = true
 	mb.m.Live = true
@@ -558,7 +576,7 @@ func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedT
 // their share of the tokens; joiners start empty. The view is a
 // snapshot of the nodes currently live — a joiner's contact list.
 func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
-	mb := newMember(cr.cfg.Mode, cr.cfg.Seed, cr.toks, id, cr.cfg.N, cr.maxN, seedTokens, cr.live, now, &cr.res.Nodes[id])
+	mb := newMember(cr.cfg.Mode, cr.cfg.Seed, cr.toks, id, cr.cfg.N, cr.maxN, seedTokens, cr.live, now, &cr.res.Nodes[id], cr.cfg.Telemetry)
 	cr.members[id] = mb
 	return mb
 }
@@ -578,9 +596,11 @@ func (mb *member) recv(raw []byte, now int64) bool {
 	sender := int(p.Env.Sender)
 	if p.Env.Type == wire.TypeHello {
 		if p.Hello.Leaving {
+			mb.tel.Event(mb.id, now, telemetry.KindRecvHello, int64(sender), 1, 0)
 			mb.view.Remove(sender)
 			return false
 		}
+		mb.tel.Event(mb.id, now, telemetry.KindRecvHello, int64(sender), 0, 0)
 		mb.view.Mark(sender, now)
 		for _, pid := range p.Hello.Peers {
 			// Third-party introductions never refresh a known peer's
@@ -591,7 +611,16 @@ func (mb *member) recv(raw []byte, now int64) bool {
 	}
 	mb.m.PacketsIn++
 	mb.view.Mark(sender, now)
-	return mb.g.absorb(p)
+	innovative := mb.g.absorb(p)
+	if mb.tel != nil { // progress() is only worth computing when tracing
+		mb.tel.Event(mb.id, now, telemetry.KindRecv, int64(sender), int64(p.Env.Epoch), 0)
+		c := int64(0)
+		if innovative {
+			c = 1
+		}
+		mb.tel.Event(mb.id, now, telemetry.KindInsert, int64(p.Env.Epoch), int64(mb.g.progress()), c)
+	}
+	return innovative
 }
 
 // emit pushes up to fanout fresh packets to random view peers: emitInto
@@ -610,7 +639,7 @@ func (mb *member) emit(tr Transport, fanout int, now int64, churn bool) {
 			if f == 0 && churn {
 				if peer := mb.pick(now); peer >= 0 {
 					mb.buildHello(false)
-					mb.sendHello(tr, peer)
+					mb.sendHello(tr, peer, now)
 				}
 			}
 			return
@@ -620,13 +649,25 @@ func (mb *member) emit(tr Transport, fanout int, now int64, churn bool) {
 			return
 		}
 		mb.m.PacketsOut++
-		mb.m.BitsOut += int64(mb.io.tx.Bits())
+		bits := int64(mb.io.tx.Bits())
+		mb.m.BitsOut += bits
+		mb.tel.Event(mb.id, now, telemetry.KindSend, int64(peer), int64(mb.io.tx.Env.Epoch), bits)
 		buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
 		if !tr.Send(mb.id, peer, buf) {
 			mb.m.Dropped++
+			mb.tel.Event(mb.id, now, telemetry.KindDrop, int64(peer), 0, 0)
 			mb.io.ring.Put(buf)
 		}
 	}
+}
+
+// sample records one telemetry time-series point for the node: rank
+// progress, inbox backlog, live-view size. A no-op without a recorder.
+func (mb *member) sample(tr Transport, now int64) {
+	if mb.tel == nil {
+		return
+	}
+	mb.tel.Sample(mb.id, now, mb.g.progress(), 0, len(tr.Recv(mb.id)), mb.view.LiveCount())
 }
 
 // buildHello fills the tx scratch with a membership announcement
@@ -640,23 +681,29 @@ func (mb *member) buildHello(leaving bool) {
 
 // sendHello marshals the tx scratch (a hello built by buildHello) to
 // one peer, with the usual ring-buffer recycling.
-func (mb *member) sendHello(tr Transport, peer int) {
+func (mb *member) sendHello(tr Transport, peer int, now int64) {
 	mb.m.HellosOut++
 	mb.m.BitsOut += int64(mb.io.tx.Bits())
+	leaving := int64(0)
+	if mb.io.tx.Hello.Leaving {
+		leaving = 1
+	}
+	mb.tel.Event(mb.id, now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
 	if !tr.Send(mb.id, peer, buf) {
 		mb.m.Dropped++
+		mb.tel.Event(mb.id, now, telemetry.KindDrop, int64(peer), 0, 0)
 		mb.io.ring.Put(buf)
 	}
 }
 
 // helloAll announces to every peer currently in the view: the
 // join/restart introduction burst, or the graceful-leave goodbye.
-func (mb *member) helloAll(tr Transport, leaving bool) {
+func (mb *member) helloAll(tr Transport, leaving bool, now int64) {
 	mb.buildHello(leaving)
 	for _, pid := range mb.io.tx.Hello.Peers {
 		if int(pid) != mb.id {
-			mb.sendHello(tr, int(pid))
+			mb.sendHello(tr, int(pid), now)
 		}
 	}
 }
@@ -665,22 +712,27 @@ func (mb *member) helloAll(tr Transport, leaving bool) {
 // driver. The churner has already flipped cr.live.
 func (cr *clusterRun) applyLockstep(op ChurnOp, tick int) {
 	m := &cr.res.Nodes[op.ID]
+	tel := cr.cfg.Telemetry
 	switch op.Kind {
 	case ChurnJoin, ChurnRejoin:
 		mb := cr.spawn(op.ID, false, int64(tick))
 		m.Done = false
 		m.DoneTick = 0
 		m.JoinTick = tick
-		mb.helloAll(cr.tr, false)
+		tel.Event(op.ID, int64(tick), telemetry.KindJoin, 0, 0, 0)
+		mb.helloAll(cr.tr, false, int64(tick))
 	case ChurnRestart:
 		mb := cr.members[op.ID]
 		m.Live = true
 		m.JoinTick = tick
-		mb.helloAll(cr.tr, false)
+		tel.Event(op.ID, int64(tick), telemetry.KindRestart, 0, 0, 0)
+		mb.helloAll(cr.tr, false, int64(tick))
 	case ChurnLeave:
-		cr.members[op.ID].helloAll(cr.tr, true)
+		tel.Event(op.ID, int64(tick), telemetry.KindLeave, 0, 0, 0)
+		cr.members[op.ID].helloAll(cr.tr, true, int64(tick))
 		m.Live = false
 	case ChurnCrash:
+		tel.Event(op.ID, int64(tick), telemetry.KindCrash, 0, 0, 0)
 		m.Live = false
 	}
 }
@@ -724,6 +776,16 @@ func (cr *clusterRun) runLockstep(ctx context.Context) {
 		}
 		for _, op := range cr.ch.PopUntil(tick, cr.live) {
 			cr.applyLockstep(op, tick)
+		}
+		if cr.cfg.Telemetry != nil {
+			// Sample before the drain so inbox depth shows the backlog
+			// queued by the previous emit phase.
+			for id, mb := range cr.members {
+				if mb != nil && cr.live[id] {
+					cr.cfg.Telemetry.SampleTick(id, int64(tick),
+						mb.g.progress(), 0, len(cr.tr.Recv(id)), mb.view.LiveCount())
+				}
+			}
 		}
 		for id, mb := range cr.members {
 			if mb == nil || !cr.live[id] {
@@ -841,7 +903,7 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 			m := mb.m
 			now := func() int64 { return int64(time.Since(start)) }
 			if announce {
-				mb.helloAll(cr.tr, false)
+				mb.helloAll(cr.tr, false, now())
 			}
 			markDone := func() { tk.markDone(id, mb.g, time.Since(start)) }
 			markDone() // n == 1 or a node seeded with everything
@@ -852,7 +914,7 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 				select {
 				case <-nodeCtx.Done():
 					if leaving != nil && leaving[id].Load() {
-						mb.helloAll(cr.tr, true)
+						mb.helloAll(cr.tr, true, now())
 					}
 					return
 				case raw := <-cr.tr.Recv(id):
@@ -862,6 +924,7 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 						emit()
 					}
 				case <-ticker.C:
+					mb.sample(cr.tr, now())
 					emit()
 				}
 			}
@@ -897,6 +960,10 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 				tk.mu.Unlock()
 				for _, op := range ops {
 					m := &cr.res.Nodes[op.ID]
+					// Churn events are recorded here, where the node's
+					// goroutine is provably not running (after its exit, or
+					// before its spawn), preserving single-owner rings.
+					tel := cr.cfg.Telemetry
 					switch op.Kind {
 					case ChurnCrash, ChurnLeave:
 						if op.Kind == ChurnLeave {
@@ -905,6 +972,11 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 						cancels[op.ID]()
 						<-exited[op.ID]
 						leaving[op.ID].Store(false)
+						if op.Kind == ChurnLeave {
+							tel.Event(op.ID, int64(time.Since(start)), telemetry.KindLeave, 0, 0, 0)
+						} else {
+							tel.Event(op.ID, int64(time.Since(start)), telemetry.KindCrash, 0, 0, 0)
+						}
 						tk.mu.Lock()
 						m.Live = false
 						tk.check()
@@ -915,12 +987,14 @@ func (cr *clusterRun) runAsync(ctx context.Context, start time.Time) {
 						m.Done = false
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()
+						tel.Event(op.ID, int64(time.Since(start)), telemetry.KindJoin, 0, 0, 0)
 						spawnNode(op.ID, true)
 					case ChurnRestart:
 						tk.mu.Lock()
 						m.Live = true
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()
+						tel.Event(op.ID, int64(time.Since(start)), telemetry.KindRestart, 0, 0, 0)
 						spawnNode(op.ID, true)
 					}
 				}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -505,21 +506,44 @@ func TestLockstepGoldenTranscripts(t *testing.T) {
 	for _, g := range goldens {
 		toks := token.RandomSet(12, 32, rand.New(rand.NewSource(g.seed)))
 		for _, mode := range []Mode{Coded, Forward} {
-			tr := WithLoss(NewChanTransport(10, InboxBuffer(10, 2)), 0.25, g.seed+77)
-			res, err := Run(ctx, Config{N: 10, Fanout: 2, Mode: mode, Seed: g.seed, Transport: tr, Lockstep: true}, toks)
-			if err != nil {
-				t.Fatalf("seed %d %v: %v", g.seed, mode, err)
-			}
-			if !res.Completed {
-				t.Fatalf("seed %d %v: incomplete", g.seed, mode)
-			}
-			want := [5]int64{int64(g.ticks), g.out, g.in, g.bits, g.drop}
-			if mode == Forward {
-				want = [5]int64{int64(g.fticks), g.fout, g.fin, g.fbits, g.fdrop}
-			}
-			got := [5]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.BitsOut, res.Dropped}
-			if got != want {
-				t.Errorf("seed %d %v: transcript diverged from allocating pipeline: got %v, want %v", g.seed, mode, got, want)
+			// Each transcript is pinned with telemetry both off and on:
+			// tracing only observes, so it must not shift a single coin
+			// draw or counter.
+			for _, traced := range []bool{false, true} {
+				var rec *telemetry.Recorder
+				if traced {
+					rec = telemetry.New(telemetry.Config{Nodes: 10})
+				}
+				tr := WithLoss(NewChanTransport(10, InboxBuffer(10, 2)), 0.25, g.seed+77)
+				res, err := Run(ctx, Config{N: 10, Fanout: 2, Mode: mode, Seed: g.seed, Transport: tr, Lockstep: true, Telemetry: rec}, toks)
+				if err != nil {
+					t.Fatalf("seed %d %v traced=%v: %v", g.seed, mode, traced, err)
+				}
+				if !res.Completed {
+					t.Fatalf("seed %d %v traced=%v: incomplete", g.seed, mode, traced)
+				}
+				want := [5]int64{int64(g.ticks), g.out, g.in, g.bits, g.drop}
+				if mode == Forward {
+					want = [5]int64{int64(g.fticks), g.fout, g.fin, g.fbits, g.fdrop}
+				}
+				got := [5]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.BitsOut, res.Dropped}
+				if got != want {
+					t.Errorf("seed %d %v traced=%v: transcript diverged from allocating pipeline: got %v, want %v", g.seed, mode, traced, got, want)
+				}
+				if traced {
+					// The trace must reconcile with the pinned counters: every
+					// send and every undelivered send was recorded.
+					c := rec.Counters()
+					if c["events_send"] != res.PacketsOut {
+						t.Errorf("seed %d %v: traced %d sends, metrics say %d", g.seed, mode, c["events_send"], res.PacketsOut)
+					}
+					if c["events_drop"] != res.Dropped {
+						t.Errorf("seed %d %v: traced %d drops, metrics say %d", g.seed, mode, c["events_drop"], res.Dropped)
+					}
+					if c["samples"] == 0 {
+						t.Errorf("seed %d %v: traced run recorded no samples", g.seed, mode)
+					}
+				}
 			}
 		}
 	}

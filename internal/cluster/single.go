@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -58,6 +59,11 @@ type SingleConfig struct {
 	// done (default 2s; the launcher usually kills lingering nodes once
 	// all have reported DONE).
 	Linger time.Duration
+	// Telemetry optionally traces this node's run (nil = disabled). In
+	// the multi-process shape each process records only its own id's
+	// ring; per-node storage stays lazily allocated for the rest of the
+	// id space.
+	Telemetry *telemetry.Recorder
 }
 
 func (c SingleConfig) fanout() int {
@@ -129,7 +135,7 @@ func RunSingle(ctx context.Context, cfg SingleConfig, toks []token.Token) (NodeM
 	for i := range live {
 		live[i] = true
 	}
-	mb := newMember(cfg.Mode, cfg.Seed, toks, cfg.ID, cfg.N, cfg.N, true, live, 0, &m)
+	mb := newMember(cfg.Mode, cfg.Seed, toks, cfg.ID, cfg.N, cfg.N, true, live, 0, &m, cfg.Telemetry)
 	mb.known = cfg.Known
 	if mb.known == nil {
 		if at, ok := cfg.Transport.(AddressedTransport); ok {
@@ -186,6 +192,7 @@ func RunSingle(ctx context.Context, cfg SingleConfig, toks []token.Token) (NodeM
 				emit()
 			}
 		case <-ticker.C:
+			mb.sample(cfg.Transport, now())
 			emit()
 		}
 	}

@@ -263,3 +263,60 @@ func TestLockstepStreamChurnGridCompletes(t *testing.T) {
 		}
 	}
 }
+
+// TestLockstepStreamChurnAggregateMetrics pins the stream Result
+// aggregate math across a churned run: aggregates equal the per-node
+// sums with each id counted exactly once (restart/rejoin reuse their
+// slot, so pre-outage traffic is not double-counted; leavers and
+// crashers keep their final counters), TokensDelivered is the
+// K-scaled sum of per-node generation deliveries, unspawned ids stay
+// zero, and FinalLive matches the Live flags.
+func TestLockstepStreamChurnAggregateMetrics(t *testing.T) {
+	const schedule = "join:5:1,crash:8:1,leave:12:1,restart:15:1,join:18:2,rejoin:25:1"
+	sched, err := cluster.ParseChurn(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := churnStreamRun(t, 11, schedule, 0.2)
+	if !res.Completed {
+		t.Fatalf("churn run incomplete after %d ticks", res.Ticks)
+	}
+	const k = 6 // churnStreamRun's K
+	if want := 12 + sched.Joins(); len(res.Nodes) != want {
+		t.Fatalf("%d node slots, want %d (restart/rejoin must reuse slots)", len(res.Nodes), want)
+	}
+	var out, in, acks, bits, dropped, tokens int64
+	live, departed := 0, 0
+	for id, m := range res.Nodes {
+		if !m.Spawned {
+			if m.PacketsOut != 0 || m.PacketsIn != 0 || m.AcksOut != 0 || m.BitsOut != 0 || m.Dropped != 0 || m.Delivered != 0 || m.Live {
+				t.Errorf("unspawned id %d has nonzero metrics %+v", id, m)
+			}
+			continue
+		}
+		out += m.PacketsOut
+		in += m.PacketsIn
+		acks += m.AcksOut
+		bits += m.BitsOut
+		dropped += m.Dropped
+		tokens += int64(m.Delivered) * k
+		if m.Live {
+			live++
+		} else if m.PacketsOut > 0 {
+			departed++ // leaver/crasher whose traffic stays counted
+		}
+	}
+	if res.PacketsOut != out || res.PacketsIn != in || res.AcksOut != acks || res.BitsOut != bits || res.Dropped != dropped {
+		t.Errorf("aggregates (%d,%d,%d,%d,%d) != per-node sums (%d,%d,%d,%d,%d)",
+			res.PacketsOut, res.PacketsIn, res.AcksOut, res.BitsOut, res.Dropped, out, in, acks, bits, dropped)
+	}
+	if res.TokensDelivered != tokens {
+		t.Errorf("TokensDelivered = %d, want %d (K-scaled per-node sum)", res.TokensDelivered, tokens)
+	}
+	if res.FinalLive != live {
+		t.Errorf("FinalLive = %d, want %d live flags", res.FinalLive, live)
+	}
+	if departed == 0 {
+		t.Error("schedule has a leave and a crash but no departed node kept its counters")
+	}
+}

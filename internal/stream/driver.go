@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // streamRun is the shared run state of both drivers: the node table
@@ -36,6 +37,7 @@ func (sr *streamRun) firstErr() error {
 // driver. The churner has already flipped sr.live.
 func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
 	m := &sr.res.Nodes[op.ID]
+	tel := sr.cfg.Telemetry
 	switch op.Kind {
 	case cluster.ChurnJoin, cluster.ChurnRejoin:
 		nd := newNode(op.ID, sr.cfg, sr.src, m, sr.live, int64(tick), true)
@@ -43,6 +45,7 @@ func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
 		m.Done = false
 		m.DoneTick = 0
 		m.JoinTick = tick
+		tel.Event(op.ID, int64(tick), telemetry.KindJoin, 0, 0, 0)
 		nd.helloAll(sr.tr, false)
 	case cluster.ChurnRestart:
 		nd := sr.nodes[op.ID]
@@ -54,13 +57,16 @@ func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
 		m.Live = true
 		m.Done = false
 		m.JoinTick = tick
+		tel.Event(op.ID, int64(tick), telemetry.KindRestart, 0, 0, 0)
 		nd.helloAll(sr.tr, false)
 	case cluster.ChurnLeave:
 		nd := sr.nodes[op.ID]
 		nd.now = int64(tick)
+		tel.Event(op.ID, int64(tick), telemetry.KindLeave, 0, 0, 0)
 		nd.helloAll(sr.tr, true)
 		m.Live = false
 	case cluster.ChurnCrash:
+		tel.Event(op.ID, int64(tick), telemetry.KindCrash, 0, 0, 0)
 		m.Live = false
 	}
 }
@@ -113,6 +119,16 @@ func (sr *streamRun) runLockstep(ctx context.Context) error {
 		}
 		for _, op := range sr.ch.PopUntil(tick, sr.live) {
 			sr.applyLockstep(op, tick)
+		}
+		if sr.cfg.Telemetry != nil {
+			// Sample before the drain so inbox depth shows the backlog
+			// queued by the previous emit phase.
+			for id, nd := range sr.nodes {
+				if nd != nil && sr.live[id] {
+					nd.now = int64(tick)
+					nd.sample(sr.tr)
+				}
+			}
 		}
 		for id, nd := range sr.nodes {
 			if nd == nil || !sr.live[id] {
@@ -276,6 +292,7 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 					}
 				case <-ticker.C:
 					tick()
+					nd.sample(sr.tr)
 					nd.adoptOrphans()
 					if fail() {
 						return
@@ -317,6 +334,10 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 				tk.mu.Unlock()
 				for _, op := range ops {
 					m := &sr.res.Nodes[op.ID]
+					// Churn events are recorded here, where the node's
+					// goroutine is provably not running (after its exit, or
+					// before its spawn), preserving single-owner rings.
+					tel := cfg.Telemetry
 					switch op.Kind {
 					case cluster.ChurnCrash, cluster.ChurnLeave:
 						if op.Kind == cluster.ChurnLeave {
@@ -325,6 +346,11 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 						cancels[op.ID]()
 						<-exited[op.ID]
 						leaving[op.ID].Store(false)
+						if op.Kind == cluster.ChurnLeave {
+							tel.Event(op.ID, int64(time.Since(start)), telemetry.KindLeave, 0, 0, 0)
+						} else {
+							tel.Event(op.ID, int64(time.Since(start)), telemetry.KindCrash, 0, 0, 0)
+						}
 						tk.mu.Lock()
 						m.Live = false
 						tk.check()
@@ -335,6 +361,7 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 						m.Done = false
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()
+						tel.Event(op.ID, int64(time.Since(start)), telemetry.KindJoin, 0, 0, 0)
 						spawnNode(op.ID, true)
 					case cluster.ChurnRestart:
 						tk.mu.Lock()
@@ -345,6 +372,7 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 						m.Done = false
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()
+						tel.Event(op.ID, int64(time.Since(start)), telemetry.KindRestart, 0, 0, 0)
 						spawnNode(op.ID, true)
 					}
 				}

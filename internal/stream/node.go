@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/rlnc"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/wire"
 )
@@ -122,6 +123,15 @@ type node struct {
 	// the run when set.
 	err error
 
+	// tel traces the node's protocol events; nil is the disabled state
+	// (every recording call is a nil-receiver no-op). Owned by the same
+	// goroutine/lockstep slot as the rest of the node.
+	tel *telemetry.Recorder
+	// eligPrev tracks each peer's frontier eligibility between gc
+	// passes, so suspicion transitions (eligible → not) can be traced.
+	// Lazily allocated only when tracing a churn run; nil otherwise.
+	eligPrev []bool
+
 	// known optionally gates peer sampling on routability: a transport
 	// with an address book (udpnet) may know fewer peers than the view
 	// believes live. Nil (every in-process run) keeps randPeer a single
@@ -156,6 +166,7 @@ func newNode(id int, cfg Config, src Source, m *NodeMetrics, live []bool, now in
 		bootstrapped: !joiner,
 		ring:         cluster.NewBufRing(cluster.DefaultRingCap),
 		m:            m,
+		tel:          cfg.Telemetry,
 	}
 	for pid, l := range live {
 		if l {
@@ -260,6 +271,7 @@ func (nd *node) deliverReady() {
 		nd.delivered++
 		nd.marks[nd.id] = nd.delivered
 		nd.m.Delivered++
+		nd.tel.Event(nd.id, nd.now, telemetry.KindDeliver, int64(g), int64(nd.delivered), 0)
 		if nd.deliver != nil {
 			nd.deliver(nd.id, g, toks)
 		}
@@ -274,9 +286,29 @@ func (nd *node) deliverReady() {
 // an unsuspected silent node still holds the frontier, which only
 // delays retirement, never corrupts it.
 func (nd *node) gc() {
+	// Suspicion transitions are traced by diffing eligibility between
+	// gc passes; the first pass only snapshots (no transitions yet).
+	trackSusp := nd.tel != nil && nd.churn
+	if trackSusp && nd.eligPrev == nil {
+		nd.eligPrev = make([]bool, nd.maxN)
+		for id := range nd.eligPrev {
+			nd.eligPrev[id] = nd.view.Eligible(id, nd.now)
+		}
+		trackSusp = false
+	}
 	floor := nd.delivered
 	for id := 0; id < nd.maxN; id++ {
-		if id == nd.id || !nd.view.Eligible(id, nd.now) {
+		if id == nd.id {
+			continue
+		}
+		elig := nd.view.Eligible(id, nd.now)
+		if trackSusp {
+			if nd.eligPrev[id] && !elig {
+				nd.tel.Event(nd.id, nd.now, telemetry.KindSuspect, int64(id), 0, 0)
+			}
+			nd.eligPrev[id] = elig
+		}
+		if !elig {
 			continue
 		}
 		if nd.marks[id] < floor {
@@ -288,10 +320,12 @@ func (nd *node) gc() {
 			gs.span.Reset()
 			nd.pool = append(nd.pool, gs.span)
 			delete(nd.spans, g)
+			nd.tel.Event(nd.id, nd.now, telemetry.KindRetire, int64(g), 0, 0)
 		}
 	}
 	if floor > nd.base {
 		nd.base = floor
+		nd.tel.Event(nd.id, nd.now, telemetry.KindFrontier, int64(floor), 0, 0)
 	}
 }
 
@@ -400,9 +434,11 @@ func (nd *node) absorb(p *wire.Packet) bool {
 	switch p.Env.Type {
 	case wire.TypeHello:
 		if p.Hello.Leaving {
+			nd.tel.Event(nd.id, nd.now, telemetry.KindRecvHello, int64(sender), 1, 0)
 			nd.view.Remove(sender)
 			return false
 		}
+		nd.tel.Event(nd.id, nd.now, telemetry.KindRecvHello, int64(sender), 0, 0)
 		nd.view.Mark(sender, nd.now)
 		for _, pid := range p.Hello.Peers {
 			// Third-party introductions never refresh a known peer's
@@ -413,6 +449,7 @@ func (nd *node) absorb(p *wire.Packet) bool {
 		return false
 	case wire.TypeCoded:
 		nd.m.PacketsIn++
+		nd.tel.Event(nd.id, nd.now, telemetry.KindRecv, int64(sender), int64(p.Env.Epoch), 0)
 		nd.view.Mark(sender, nd.now)
 		if !nd.bootstrapped {
 			nd.m.Stale++
@@ -429,14 +466,21 @@ func (nd *node) absorb(p *wire.Packet) bool {
 		}
 		gs := nd.ensureGen(g)
 		if gs.decoded || !gs.span.Add(cd) {
+			if nd.tel != nil {
+				nd.tel.Event(nd.id, nd.now, telemetry.KindInsert, int64(g), int64(gs.span.Rank()), 0)
+			}
 			return false
 		}
 		nd.m.Innovative++
+		if nd.tel != nil {
+			nd.tel.Event(nd.id, nd.now, telemetry.KindInsert, int64(g), int64(gs.span.Rank()), 1)
+		}
 		nd.checkDecoded(g, gs)
 		nd.advance()
 		return true
 	case wire.TypeAck:
 		nd.m.AcksIn++
+		nd.tel.Event(nd.id, nd.now, telemetry.KindRecvAck, int64(sender), int64(p.Ack.Watermark), 0)
 		nd.view.Mark(sender, nd.now)
 		changed := nd.mergeMark(sender, int(p.Ack.Watermark))
 		for _, pm := range p.Ack.Peers {
@@ -500,10 +544,13 @@ func (nd *node) serveCatchup(tr cluster.Transport) {
 			nd.tx.Env = wire.Envelope{Version: wire.Version, Type: wire.TypeCoded, Sender: uint32(nd.id), Epoch: uint32(rq.gen)}
 			nd.tx.Coded = rlnc.Encode(j, nd.k, cluster.TokenVec(toks[j]))
 			nd.m.PacketsOut++
-			nd.m.BitsOut += int64(nd.tx.Bits())
+			bits := int64(nd.tx.Bits())
+			nd.m.BitsOut += bits
+			nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(rq.peer), int64(rq.gen), bits)
 			buf := nd.tx.AppendTo(nd.ring.Get()[:0])
 			if !tr.Send(nd.id, rq.peer, buf) {
 				nd.m.Dropped++
+				nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(rq.peer), 0, 0)
 				nd.ring.Put(buf)
 			}
 		}
@@ -736,10 +783,13 @@ func (nd *node) pushData(tr cluster.Transport) {
 		}
 		sent = true
 		nd.m.PacketsOut++
-		nd.m.BitsOut += int64(nd.tx.Bits())
+		bits := int64(nd.tx.Bits())
+		nd.m.BitsOut += bits
+		nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(peer), int64(nd.tx.Env.Epoch), bits)
 		buf := nd.tx.AppendTo(nd.ring.Get()[:0])
 		if !tr.Send(nd.id, peer, buf) {
 			nd.m.Dropped++
+			nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
 			nd.ring.Put(buf)
 		}
 	}
@@ -764,9 +814,11 @@ func (nd *node) pushAck(tr cluster.Transport) {
 	}
 	nd.m.AcksOut++
 	nd.m.BitsOut += int64(nd.tx.Bits())
+	nd.tel.Event(nd.id, nd.now, telemetry.KindSendAck, int64(peer), int64(nd.delivered), 0)
 	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
 	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
+		nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
 		nd.ring.Put(buf)
 	}
 }
@@ -783,10 +835,38 @@ func (nd *node) buildHello(leaving bool) {
 func (nd *node) sendHello(tr cluster.Transport, peer int) {
 	nd.m.HellosOut++
 	nd.m.BitsOut += int64(nd.tx.Bits())
+	leaving := int64(0)
+	if nd.tx.Hello.Leaving {
+		leaving = 1
+	}
+	nd.tel.Event(nd.id, nd.now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
 	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
+		nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
 		nd.ring.Put(buf)
+	}
+}
+
+// sample records one telemetry time-series point for the node: the
+// rank of the generation at the delivery watermark (the one the node
+// is working on), the watermark itself, inbox backlog and live-view
+// size. A no-op without a recorder.
+func (nd *node) sample(tr cluster.Transport) {
+	if nd.tel == nil {
+		return
+	}
+	rank := 0
+	if gs, ok := nd.spans[nd.delivered]; ok {
+		rank = gs.span.Rank()
+	} else if nd.delivered >= nd.gens {
+		rank = nd.k // stream finished
+	}
+	inbox := len(tr.Recv(nd.id))
+	if nd.lockstep {
+		nd.tel.SampleTick(nd.id, nd.now, rank, nd.delivered, inbox, nd.view.LiveCount())
+	} else {
+		nd.tel.Sample(nd.id, nd.now, rank, nd.delivered, inbox, nd.view.LiveCount())
 	}
 }
 

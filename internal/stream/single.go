@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -51,6 +52,10 @@ type SingleConfig struct {
 	// Linger keeps the node gossiping after its own completion so
 	// slower peers can finish too (default 2s).
 	Linger time.Duration
+	// Telemetry optionally traces this node's run (nil = disabled). In
+	// the multi-process shape each process records only its own id's
+	// ring.
+	Telemetry *telemetry.Recorder
 }
 
 func (c SingleConfig) fanout() int {
@@ -104,6 +109,7 @@ func (c SingleConfig) config() Config {
 		Deliver:     c.Deliver,
 		Interval:    c.Interval,
 		Timeout:     c.Timeout,
+		Telemetry:   c.Telemetry,
 	}
 }
 
@@ -204,6 +210,7 @@ func RunSingle(ctx context.Context, cfg SingleConfig) (NodeMetrics, error) {
 			}
 		case <-ticker.C:
 			tick()
+			nd.sample(tr)
 			nd.pushData(tr)
 			nd.pushAck(tr)
 		}

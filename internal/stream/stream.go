@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/wire"
 )
@@ -184,6 +185,11 @@ type Config struct {
 	// retirement frontier and peer sampling. Only used with Churn;
 	// default 50.
 	SuspectTicks int
+	// Telemetry optionally traces the run (nil = disabled, zero
+	// overhead). Size it for maxNodes (N + Churn.Joins()). Recording
+	// only observes — a traced lockstep run produces the same transcript
+	// as an untraced one.
+	Telemetry *telemetry.Recorder
 }
 
 // maxNodes is the run's node id space: the initial membership plus

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -350,21 +351,52 @@ func TestStreamLockstepGoldenTranscripts(t *testing.T) {
 		{5, 59, 928, 735, 464, 373504, 297, 288},
 	}
 	for _, g := range goldens {
-		tr := cluster.WithLoss(cluster.NewChanTransport(8, InboxBuffer(8, 2)), 0.2, g.seed+3)
-		res, err := Run(ctx, Config{
-			N: 8, K: 6, PayloadBits: 48, Window: 3, Generations: 6,
-			Seed: g.seed, Transport: tr, Lockstep: true, MaxTicks: 200000,
-		})
-		if err != nil {
-			t.Fatalf("seed %d: %v", g.seed, err)
-		}
-		if !res.Completed {
-			t.Fatalf("seed %d: incomplete", g.seed)
-		}
-		got := [7]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.AcksOut, res.BitsOut, res.Dropped, res.TokensDelivered}
-		want := [7]int64{int64(g.ticks), g.out, g.in, g.acks, g.bits, g.drop, g.delivered}
-		if got != want {
-			t.Errorf("seed %d: transcript diverged from allocating pipeline: got %v, want %v", g.seed, got, want)
+		// Each transcript is pinned with telemetry both off and on:
+		// tracing only observes, so it must not shift a single coin draw
+		// or counter.
+		for _, traced := range []bool{false, true} {
+			var rec *telemetry.Recorder
+			if traced {
+				rec = telemetry.New(telemetry.Config{Nodes: 8})
+			}
+			tr := cluster.WithLoss(cluster.NewChanTransport(8, InboxBuffer(8, 2)), 0.2, g.seed+3)
+			res, err := Run(ctx, Config{
+				N: 8, K: 6, PayloadBits: 48, Window: 3, Generations: 6,
+				Seed: g.seed, Transport: tr, Lockstep: true, MaxTicks: 200000,
+				Telemetry: rec,
+			})
+			if err != nil {
+				t.Fatalf("seed %d traced=%v: %v", g.seed, traced, err)
+			}
+			if !res.Completed {
+				t.Fatalf("seed %d traced=%v: incomplete", g.seed, traced)
+			}
+			got := [7]int64{int64(res.Ticks), res.PacketsOut, res.PacketsIn, res.AcksOut, res.BitsOut, res.Dropped, res.TokensDelivered}
+			want := [7]int64{int64(g.ticks), g.out, g.in, g.acks, g.bits, g.drop, g.delivered}
+			if got != want {
+				t.Errorf("seed %d traced=%v: transcript diverged from allocating pipeline: got %v, want %v", g.seed, traced, got, want)
+			}
+			if traced {
+				// The trace must reconcile with the pinned counters.
+				c := rec.Counters()
+				if c["events_send"] != res.PacketsOut {
+					t.Errorf("seed %d: traced %d sends, metrics say %d", g.seed, c["events_send"], res.PacketsOut)
+				}
+				if c["events_send_ack"] != res.AcksOut {
+					t.Errorf("seed %d: traced %d acks, metrics say %d", g.seed, c["events_send_ack"], res.AcksOut)
+				}
+				if c["events_drop"] != res.Dropped {
+					t.Errorf("seed %d: traced %d drops, metrics say %d", g.seed, c["events_drop"], res.Dropped)
+				}
+				// Every generation delivered on every node leaves a deliver
+				// event (8 nodes × 6 generations).
+				if c["events_deliver"] != 48 {
+					t.Errorf("seed %d: traced %d delivers, want 48", g.seed, c["events_deliver"])
+				}
+				if c["samples"] == 0 {
+					t.Errorf("seed %d: traced run recorded no samples", g.seed)
+				}
+			}
 		}
 	}
 }

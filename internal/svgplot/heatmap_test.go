@@ -1,0 +1,103 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:  "rank progression",
+		XLabel: "tick",
+		YLabel: "node",
+		Values: [][]float64{
+			{0, 1, 3, 6, 6},
+			{0, 0, 2, 5, 6},
+			{0, 2, 4, 6, 6},
+		},
+		X0:    0,
+		XStep: 2,
+	}
+}
+
+// TestHeatmapGoldenMarkup pins the exact markup, like the Chart golden:
+// the renderer is an encoder and its output is part of the contract.
+func TestHeatmapGoldenMarkup(t *testing.T) {
+	got := testHeatmap().SVG()
+	golden := filepath.Join("testdata", "heatmap.svg.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/svgplot -update` to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("heatmap markup drifted from golden file %s:\ngot:\n%s", golden, got)
+	}
+}
+
+func TestHeatmapWellFormedXML(t *testing.T) {
+	maps := map[string]*Heatmap{
+		"normal":   testHeatmap(),
+		"empty":    {Title: "empty"},
+		"one cell": {Values: [][]float64{{5}}},
+		"flat":     {Values: [][]float64{{2, 2}, {2, 2}}},
+		"escapes":  {Title: `a<b>&"c"`, Values: [][]float64{{1}}},
+	}
+	for name, h := range maps {
+		s := h.SVG()
+		dec := xml.NewDecoder(strings.NewReader(s))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%s: invalid XML: %v\n%s", name, err, s)
+			}
+		}
+	}
+}
+
+// TestHeatmapRamp pins the sequential ramp's endpoints and midpoint
+// ordering: one hue, light to dark, monotone in all three channels.
+func TestHeatmapRamp(t *testing.T) {
+	if got := rampColor(0); got != "#f7fbff" {
+		t.Errorf("rampColor(0) = %s", got)
+	}
+	if got := rampColor(1); got != "#08306b" {
+		t.Errorf("rampColor(1) = %s", got)
+	}
+	if got := rampColor(-5); got != rampColor(0) {
+		t.Errorf("rampColor clamps low: %s", got)
+	}
+	if got := rampColor(7); got != rampColor(1) {
+		t.Errorf("rampColor clamps high: %s", got)
+	}
+}
+
+// TestHeatmapScale checks that fixed Min/Max override the data range:
+// the same cell value must map to the same color across frames when
+// the caller pins the scale.
+func TestHeatmapScale(t *testing.T) {
+	auto := &Heatmap{Values: [][]float64{{0, 10}}}
+	pinned := &Heatmap{Values: [][]float64{{0, 10}}, Min: 0, Max: 20}
+	a, p := auto.SVG(), pinned.SVG()
+	if !strings.Contains(a, rampColor(1)) {
+		t.Error("auto scale: max cell should be full-dark")
+	}
+	if strings.Contains(p, rampColor(1)) {
+		t.Error("pinned scale 0..20: cell at 10 must not be full-dark")
+	}
+	if !strings.Contains(p, rampColor(0.5)) {
+		t.Error("pinned scale 0..20: cell at 10 should be mid-ramp")
+	}
+}
