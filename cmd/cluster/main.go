@@ -14,6 +14,10 @@
 //	go run ./cmd/cluster -n 32 -delay 2ms -reorder 0.3  # hostile-network middlewares
 //	go run ./cmd/cluster -transport lockstep -churn "crash:20:1,join:30:1"
 //	                                                    # dynamic membership
+//	go run ./cmd/cluster -transport lockstep -adversary adaptive -churn "crashmax:30:1,restart:60:1"
+//	                                                    # adversarial topology + targeted crashes
+//	go run ./cmd/cluster -mutate "dup:0.05,stale:0.05,flip:0.02"
+//	                                                    # hostile-packet injection
 //
 // Transports: "chan" (default) runs the concurrent runtime on buffered
 // channels with wall-clock metrics; "lockstep" runs the deterministic
@@ -59,20 +63,22 @@ func main() {
 		reorder  = flag.Float64("reorder", 0, "packet reordering rate in [0,1)")
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
-		churn    = flag.String("churn", "", `membership schedule, e.g. "join:500:2,crash:1000:1" (kinds: join|leave|crash|restart|rejoin)`)
+		churn    = flag.String("churn", "", `membership schedule, e.g. "join:500:2,crash:1000:1" (kinds: join|leave|crash|restart|rejoin|crashmax|crashfrontier)`)
+		adv      = flag.String("adversary", "", `topology adversary name[:params] (random | rotating-path | static-<topology> | tstable:<T> | tinterval:<T> | adaptive | trace:<file>)`)
+		mutate   = flag.String("mutate", "", `hostile-packet mutation spec, e.g. "dup:0.05,stale:0.1" (ops: dup|stale|trunc|flip|xgen|all)`)
 		trace    = flag.String("trace", "", "trace the run and render cluster-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
 		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *n, *k, *payload, *loss, *fanout, *mode, *tp, *seed,
-		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *trace, *telem); err != nil {
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *adv, *mutate, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, traceDir, traceFile string) error {
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, advSpec, mutateSpec, traceDir, traceFile string) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
 		return err
 	}
@@ -105,8 +111,10 @@ func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp 
 		return err
 	}
 
+	// The recorder must exist before the adversarial wrap: the adaptive
+	// adversary reads its rank scoreboard.
 	var rec *telemetry.Recorder
-	if traceDir != "" || traceFile != "" {
+	if traceDir != "" || traceFile != "" || cliutil.AdversaryNeedsTelemetry(advSpec) {
 		rec = telemetry.New(telemetry.Config{Nodes: maxN})
 		rec.SetMeta("driver", "cluster")
 		rec.SetMeta("mode", modeName)
@@ -115,6 +123,14 @@ func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp 
 		rec.SetMeta("loss", fmt.Sprint(loss))
 		rec.SetMeta("transport", tp)
 		rec.SetMeta("seed", fmt.Sprint(seed))
+	}
+	advInterval := time.Duration(0)
+	if !lockstep {
+		advInterval = interval
+	}
+	tr, err = cliutil.WrapAdversarial(tr, advSpec, mutateSpec, maxN, seed, advInterval, rec)
+	if err != nil {
+		return err
 	}
 
 	toks := token.RandomSet(k, payload, rand.New(rand.NewSource(seed)))

@@ -21,6 +21,7 @@ type runArgs struct {
 	reorder         float64
 	buffer, maxTick int
 	churn           string
+	adv, mutate     string
 	trace, telem    string
 }
 
@@ -34,7 +35,7 @@ func (a runArgs) run(w io.Writer) error {
 	}
 	return run(w, a.n, a.k, a.payload, a.loss, a.fanout, a.mode, a.tp, a.seed,
 		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn,
-		a.trace, a.telem)
+		a.adv, a.mutate, a.trace, a.telem)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -61,6 +62,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad churn kind", func(a *runArgs) { a.churn = "meteor:10:1" }, "-churn"},
 		{"bad churn shape", func(a *runArgs) { a.churn = "join:10" }, "-churn"},
 		{"bad churn tick", func(a *runArgs) { a.churn = "join:0:1" }, "-churn"},
+		{"unknown adversary", func(a *runArgs) { a.adv = "omniscient" }, "-adversary"},
+		{"bad mutate op", func(a *runArgs) { a.mutate = "melt:0.1" }, "-mutate"},
+		{"bad mutate rate", func(a *runArgs) { a.mutate = "dup:1.5" }, "-mutate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,6 +83,20 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestRunLockstepSmallCompletes(t *testing.T) {
 	if err := defaults().run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAdversarialLockstepCompletes drives the full adversarial
+// surface — adaptive topology, targeted crash with restart, hostile
+// packets — through the exact path main dispatches to.
+func TestRunAdversarialLockstepCompletes(t *testing.T) {
+	a := defaults()
+	a.adv = "adaptive"
+	a.mutate = "dup:0.05,stale:0.05,trunc:0.02"
+	a.churn = "crashmax:10:1,restart:25:1"
+	a.loss = 0.05
+	if err := a.run(nil); err != nil {
 		t.Fatal(err)
 	}
 }

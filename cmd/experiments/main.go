@@ -1,5 +1,5 @@
 // Command experiments regenerates the repository's experiment tables
-// E1..E11 — the measured counterparts of the paper's theorems (see
+// E1..E14 — the measured counterparts of the paper's theorems (see
 // DESIGN.md for the index).
 //
 // Trials within each sweep run on a worker pool; results are

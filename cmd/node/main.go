@@ -21,7 +21,11 @@
 // runtime instead of one-shot dissemination. The -loss/-delay/-reorder
 // fault-injection middlewares stack above the socket exactly as they
 // do above the in-process transports, so hostile-network experiments
-// compose with real packet loss.
+// compose with real packet loss; -adversary and -mutate stack the
+// internal/hostile layers on top of those:
+//
+//	go run ./cmd/node -id 0 -n 3 -addr 127.0.0.1:9000 -mutate "dup:0.05,trunc:0.02"
+//	go run ./cmd/node -id 0 -n 3 -addr 127.0.0.1:9000 -adversary rotating-path
 package main
 
 import (
@@ -71,9 +75,11 @@ type options struct {
 	timeout  time.Duration
 	linger   time.Duration
 
-	loss    float64
-	delay   time.Duration
-	reorder float64
+	loss      float64
+	delay     time.Duration
+	reorder   float64
+	adversary string
+	mutate    string
 
 	metrics string
 
@@ -101,6 +107,8 @@ func main() {
 	flag.Float64Var(&o.loss, "loss", 0, "injected packet loss rate in [0,1), above the socket")
 	flag.DurationVar(&o.delay, "delay", 0, "injected per-packet latency upper bound")
 	flag.Float64Var(&o.reorder, "reorder", 0, "injected packet reordering rate in [0,1)")
+	flag.StringVar(&o.adversary, "adversary", "", `topology adversary name[:params] (random | rotating-path | static-<topology> | tstable:<T> | tinterval:<T> | adaptive | trace:<file>)`)
+	flag.StringVar(&o.mutate, "mutate", "", `hostile-packet mutation spec, e.g. "dup:0.05,stale:0.1" (ops: dup|stale|trunc|flip|xgen|all)`)
 	flag.StringVar(&o.metrics, "metrics", "", "write key=value metrics to this file")
 	flag.StringVar(&o.trace, "trace", "", "trace the run and render node<id>-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
 	flag.StringVar(&o.telem, "telemetry", "", "trace the run and write the telemetry v1 text export to this file")
@@ -146,8 +154,10 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	defer tr.Close()
 	fmt.Fprintf(w, "LISTEN id=%d addr=%s\n", o.id, tr.LocalAddr())
 
+	// The recorder must exist before the adversarial wrap: the adaptive
+	// adversary reads its rank scoreboard.
 	var rec *telemetry.Recorder
-	if o.trace != "" || o.telem != "" {
+	if o.trace != "" || o.telem != "" || cliutil.AdversaryNeedsTelemetry(o.adversary) {
 		rec = telemetry.New(telemetry.Config{Nodes: o.n})
 		rec.SetMeta("driver", "node")
 		rec.SetMeta("id", fmt.Sprint(o.id))
@@ -212,6 +222,12 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	// The middlewares hide the socket transport's Known method, which is
 	// why the routability gate is captured from tr, not wrapped.
 	wrapped, err := cliutil.WrapHostile(tr, o.delay, o.reorder, o.loss, o.seed)
+	if err != nil {
+		return err
+	}
+	// The hostile layers stack outermost; their tick clock derives from
+	// the emission interval (no lockstep driver feeds them ticks here).
+	wrapped, err = cliutil.WrapAdversarial(wrapped, o.adversary, o.mutate, o.n, o.seed, o.interval, rec)
 	if err != nil {
 		return err
 	}

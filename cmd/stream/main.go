@@ -14,6 +14,9 @@
 //	go run ./cmd/stream -n 16 -delay 2ms -reorder 0.3           # hostile-network middlewares
 //	go run ./cmd/stream -transport lockstep -loss 0.2 -churn "crash:30:1,join:60:1"
 //	                                                            # churn: mid-stream joiner catch-up
+//	go run ./cmd/stream -transport lockstep -adversary adaptive -churn "crashfrontier:40:1,restart:80:1"
+//	                                                            # adversarial topology + frontier-targeted crashes
+//	go run ./cmd/stream -mutate "stale:0.1,xgen:0.05"           # stale-epoch replay + cross-generation reordering
 //
 // Transports: "chan" (default) runs the concurrent runtime on buffered
 // channels with wall-clock metrics; "lockstep" runs the deterministic
@@ -58,13 +61,15 @@ func main() {
 		reorder  = flag.Float64("reorder", 0, "packet reordering rate in [0,1)")
 		buffer   = flag.Int("buffer", 0, "per-node inbox buffer (0 = auto)")
 		maxTicks = flag.Int("maxticks", 0, "lockstep tick cap (0 = default)")
-		churn    = flag.String("churn", "", `membership schedule, e.g. "crash:30:1,join:60:1" (kinds: join|leave|crash|restart|rejoin)`)
+		churn    = flag.String("churn", "", `membership schedule, e.g. "crash:30:1,join:60:1" (kinds: join|leave|crash|restart|rejoin|crashmax|crashfrontier)`)
+		adv      = flag.String("adversary", "", `topology adversary name[:params] (random | rotating-path | static-<topology> | tstable:<T> | tinterval:<T> | adaptive | trace:<file>)`)
+		mutate   = flag.String("mutate", "", `hostile-packet mutation spec, e.g. "stale:0.1,xgen:0.05" (ops: dup|stale|trunc|flip|xgen|all)`)
 		trace    = flag.String("trace", "", "trace the run and render stream-{telemetry.txt,heatmap.svg,timeline.svg,packetflow.svg} into this directory")
 		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, *n, *k, *payload, *window, *gens, *loss, *fanout, *tp, *seed,
-		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *trace, *telem); err != nil {
+		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *adv, *mutate, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "stream:", err)
 		os.Exit(1)
 	}
@@ -89,7 +94,7 @@ func validate(n, k, payload, window, gens, fanout, buffer int, loss, reorder flo
 }
 
 func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int, tp string, seed int64,
-	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, traceDir, traceFile string) error {
+	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, advSpec, mutateSpec, traceDir, traceFile string) error {
 	if err := validate(n, k, payload, window, gens, fanout, buffer, loss, reorder); err != nil {
 		return err
 	}
@@ -110,8 +115,10 @@ func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int,
 		return err
 	}
 
+	// The recorder must exist before the adversarial wrap: the adaptive
+	// adversary reads its rank scoreboard.
 	var rec *telemetry.Recorder
-	if traceDir != "" || traceFile != "" {
+	if traceDir != "" || traceFile != "" || cliutil.AdversaryNeedsTelemetry(advSpec) {
 		rec = telemetry.New(telemetry.Config{Nodes: maxN})
 		rec.SetMeta("driver", "stream")
 		rec.SetMeta("n", fmt.Sprint(n))
@@ -121,6 +128,14 @@ func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int,
 		rec.SetMeta("loss", fmt.Sprint(loss))
 		rec.SetMeta("transport", tp)
 		rec.SetMeta("seed", fmt.Sprint(seed))
+	}
+	advInterval := time.Duration(0)
+	if !lockstep {
+		advInterval = interval
+	}
+	tr, err = cliutil.WrapAdversarial(tr, advSpec, mutateSpec, maxN, seed, advInterval, rec)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -21,6 +21,7 @@ type runArgs struct {
 	reorder                     float64
 	buffer, maxTick             int
 	churn                       string
+	adv, mutate                 string
 	trace, telem                string
 }
 
@@ -34,7 +35,7 @@ func (a runArgs) run(w io.Writer) error {
 	}
 	return run(w, a.n, a.k, a.payload, a.window, a.gens, a.loss, a.fanout, a.tp, a.seed,
 		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn,
-		a.trace, a.telem)
+		a.adv, a.mutate, a.trace, a.telem)
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -60,6 +61,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"unknown transport", func(a *runArgs) { a.tp = "carrier-pigeon" }, "transport"},
 		{"bad churn kind", func(a *runArgs) { a.churn = "meteor:10:1" }, "-churn"},
 		{"bad churn count", func(a *runArgs) { a.churn = "join:10:0" }, "-churn"},
+		{"unknown adversary", func(a *runArgs) { a.adv = "omniscient" }, "-adversary"},
+		{"bad mutate op", func(a *runArgs) { a.mutate = "melt:0.1" }, "-mutate"},
+		{"bad mutate rate", func(a *runArgs) { a.mutate = "stale:-0.1" }, "-mutate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,6 +82,19 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestRunLockstepSmallCompletes(t *testing.T) {
 	if err := defaults().run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAdversarialLockstepCompletes drives the full adversarial
+// surface — adaptive topology, frontier-targeted crash with restart,
+// stale replays — through the exact path main dispatches to.
+func TestRunAdversarialLockstepCompletes(t *testing.T) {
+	a := defaults()
+	a.adv = "adaptive"
+	a.mutate = "stale:0.05,dup:0.05"
+	a.churn = "crashfrontier:15:1,restart:30:1"
+	if err := a.run(nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -255,5 +255,5 @@ func errUnknown(name string) error {
 type unknownError struct{ name string }
 
 func (e *unknownError) Error() string {
-	return "adversary: unknown adversary " + e.name
+	return "adversary: unknown adversary " + e.name + " (want random, rotating-path or static-<topology>)"
 }

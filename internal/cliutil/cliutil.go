@@ -8,9 +8,14 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/cluster"
+	"repro/internal/dynnet"
+	"repro/internal/hostile"
 	"repro/internal/telemetry"
 )
 
@@ -149,6 +154,107 @@ func WrapHostile(tr cluster.Transport, delay time.Duration, reorder, loss float6
 	if loss > 0 {
 		tr = cluster.WithLoss(tr, loss, seed+103)
 	}
+	return tr, nil
+}
+
+// AdversaryNeedsTelemetry reports whether the -adversary spec requires
+// a telemetry recorder: the adaptive adversary reads the recorder's
+// rank scoreboard, so the CLIs create a recorder for it even when no
+// tracing flag asked for one.
+func AdversaryNeedsTelemetry(spec string) bool { return strings.TrimSpace(spec) == "adaptive" }
+
+// ParseAdversaryFlag parses the shared -adversary grammar,
+// name[:params], into a topology adversary over an id space of n:
+//
+//	random | rotating-path | static-<topology>   (adversary.Named)
+//	tstable:<T>     T-stable random rewiring (adversary.TStable)
+//	tinterval:<T>   T-interval connectivity (adversary.TInterval)
+//	adaptive        telemetry-rank worst case (hostile.Adaptive)
+//	trace:<file>    recorded mobility trace (hostile.TraceAdversary)
+//
+// An empty spec returns nil (no adversary). rec is only required for
+// adaptive (see AdversaryNeedsTelemetry).
+func ParseAdversaryFlag(spec string, n int, seed int64, rec *telemetry.Recorder) (dynnet.Adversary, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	name, param, hasParam := strings.Cut(spec, ":")
+	parseT := func() (int, error) {
+		t, err := strconv.Atoi(param)
+		if err != nil || t < 1 {
+			return 0, fmt.Errorf("-adversary %s: T must be a positive integer, got %q", name, param)
+		}
+		return t, nil
+	}
+	switch name {
+	case "tstable":
+		t, err := parseT()
+		if err != nil {
+			return nil, err
+		}
+		return adversary.NewTStable(adversary.NewRandomConnected(n, n/2, seed), t), nil
+	case "tinterval":
+		t, err := parseT()
+		if err != nil {
+			return nil, err
+		}
+		return adversary.NewTInterval(n, t, n/2, seed), nil
+	case "adaptive":
+		if hasParam {
+			return nil, fmt.Errorf("-adversary adaptive takes no parameter, got %q", param)
+		}
+		if rec == nil {
+			return nil, fmt.Errorf("-adversary adaptive needs a telemetry recorder (see AdversaryNeedsTelemetry)")
+		}
+		return hostile.NewAdaptive(n, seed, rec), nil
+	case "trace":
+		if !hasParam || param == "" {
+			return nil, fmt.Errorf("-adversary trace needs a file: trace:<file>")
+		}
+		return hostile.ParseTraceFile(param, n)
+	default:
+		if hasParam {
+			return nil, fmt.Errorf("-adversary %s takes no parameter, got %q", name, param)
+		}
+		adv, err := adversary.Named(name, n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("-adversary: %w (or tstable:<T>, tinterval:<T>, adaptive, trace:<file>)", err)
+		}
+		return adv, nil
+	}
+}
+
+// ParseMutateFlag parses the shared -mutate grammar (op:rate pairs;
+// see hostile.ParseMutations), naming the flag in errors.
+func ParseMutateFlag(spec string) (hostile.MutationSpec, error) {
+	ms, err := hostile.ParseMutations(spec)
+	if err != nil {
+		return ms, fmt.Errorf("-mutate: %w", err)
+	}
+	return ms, nil
+}
+
+// WrapAdversarial stacks the fault-injection layers of internal/hostile
+// over an already-built transport, outermost in the canonical CLI
+// order: adversarial topology over packet mutation over whatever tr
+// already stacks (WrapHostile's loss/reorder/delay). The hostile
+// layers run on the sender's goroutine and forward lockstep ticks down
+// the stack, which is why they must wrap last. n is the run's full id
+// space (N plus churn joins); interval > 0 switches the adversary's
+// clock to wall time for the async and multi-process runtimes. Empty
+// specs add no layer.
+func WrapAdversarial(tr cluster.Transport, advSpec, mutateSpec string, n int, seed int64, interval time.Duration, rec *telemetry.Recorder) (cluster.Transport, error) {
+	ms, err := ParseMutateFlag(mutateSpec)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := ParseAdversaryFlag(advSpec, n, seed+104, rec)
+	if err != nil {
+		return nil, err
+	}
+	tr = hostile.WithMutator(tr, ms, seed+105, rec)
+	tr = hostile.WithAdversary(tr, adv, hostile.TopoConfig{Interval: interval, Telemetry: rec})
 	return tr, nil
 }
 

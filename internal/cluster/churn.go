@@ -28,6 +28,18 @@ const (
 	// ChurnRejoin revives a crashed node with wiped state (a restart
 	// that lost its disk): same id, but it bootstraps like a joiner.
 	ChurnRejoin
+	// ChurnCrashMax is the targeted-crash adversary: it kills the live
+	// node with the highest rank (most decoding progress) instead of a
+	// uniform victim, maximizing the knowledge the cluster loses. With
+	// no rank oracle installed (Churner.SetRank) it degrades to a
+	// uniform crash. Resolved operations surface as ChurnCrash, so the
+	// drivers need no targeted-specific handling.
+	ChurnCrashMax
+	// ChurnCrashFrontier kills the live node with the LOWEST rank — for
+	// the stream runtime, whose rank oracle is the delivery watermark,
+	// that is exactly the straggler the retirement frontier is waiting
+	// on, so each crash re-tests frontier recovery via suspicion.
+	ChurnCrashFrontier
 )
 
 // String returns the kind's schedule-grammar name.
@@ -43,6 +55,10 @@ func (k ChurnKind) String() string {
 		return "restart"
 	case ChurnRejoin:
 		return "rejoin"
+	case ChurnCrashMax:
+		return "crashmax"
+	case ChurnCrashFrontier:
+		return "crashfrontier"
 	}
 	return fmt.Sprintf("ChurnKind(%d)", int(k))
 }
@@ -96,8 +112,12 @@ func ParseChurn(s string) (*ChurnSchedule, error) {
 			kind = ChurnRestart
 		case "rejoin":
 			kind = ChurnRejoin
+		case "crashmax":
+			kind = ChurnCrashMax
+		case "crashfrontier":
+			kind = ChurnCrashFrontier
 		default:
-			return nil, fmt.Errorf("churn event %q: unknown kind %q (want join|leave|crash|restart|rejoin)", part, fields[0])
+			return nil, fmt.Errorf("churn event %q: unknown kind %q (want join|leave|crash|restart|rejoin|crashmax|crashfrontier)", part, fields[0])
 		}
 		at, err := strconv.Atoi(fields[1])
 		if err != nil || at < 1 {
@@ -141,6 +161,21 @@ func (s *ChurnSchedule) Joins() int {
 	return total
 }
 
+// HasTargeted reports whether the schedule contains any rank-targeted
+// event (crashmax, crashfrontier) — the drivers use it to decide
+// whether to maintain the rank oracle the Churner needs.
+func (s *ChurnSchedule) HasTargeted() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == ChurnCrashMax || e.Kind == ChurnCrashFrontier {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate rejects schedules the drivers cannot run.
 func (s *ChurnSchedule) Validate() error {
 	if s == nil {
@@ -149,7 +184,8 @@ func (s *ChurnSchedule) Validate() error {
 	lastAt := 0
 	for i, e := range s.Events {
 		switch e.Kind {
-		case ChurnJoin, ChurnLeave, ChurnCrash, ChurnRestart, ChurnRejoin:
+		case ChurnJoin, ChurnLeave, ChurnCrash, ChurnRestart, ChurnRejoin,
+			ChurnCrashMax, ChurnCrashFrontier:
 		default:
 			return fmt.Errorf("churn event %d: unknown kind %d", i, int(e.Kind))
 		}
@@ -328,6 +364,11 @@ type Churner struct {
 	maxID   int   // id space bound
 	crashed []int // ids available for restart/rejoin, in crash order
 	ops     []ChurnOp
+	// rank is the oracle for the targeted crash kinds (crashmax,
+	// crashfrontier): the current decoding progress / delivery
+	// watermark of a live node. Nil degrades targeted kinds to uniform
+	// crashes. See SetRank.
+	rank func(id int) int
 }
 
 // churnSeed offsets the victim-selection stream away from the node rngs.
@@ -342,6 +383,18 @@ func NewChurner(s *ChurnSchedule, n, maxN int, seed int64) *Churner {
 		rng:    rand.New(rand.NewSource(seed + churnSeed)),
 		nextID: n,
 		maxID:  maxN,
+	}
+}
+
+// SetRank installs the rank oracle the targeted crash kinds select
+// victims with. The drivers call it once at run start when the
+// schedule HasTargeted; fn must be callable at PopUntil time for every
+// live id (the async churn controller calls it from its own goroutine,
+// so implementations back it with atomics). A nil churner or nil fn is
+// a no-op / oracle removal.
+func (c *Churner) SetRank(fn func(id int) int) {
+	if c != nil {
+		c.rank = fn
 	}
 }
 
@@ -401,6 +454,16 @@ func (c *Churner) PopUntil(tick int, live []bool) []ChurnOp {
 				if e.Kind == ChurnCrash {
 					c.crashed = append(c.crashed, id)
 				}
+			case ChurnCrashMax, ChurnCrashFrontier:
+				id := c.pickTargeted(live, e.Kind == ChurnCrashMax)
+				if id < 0 {
+					continue // refusing to kill the last node
+				}
+				// Resolve to a plain crash: drivers see only ChurnCrash
+				// ops, the targeting lives entirely in victim selection.
+				c.ops = append(c.ops, ChurnOp{ChurnCrash, id})
+				live[id] = false
+				c.crashed = append(c.crashed, id)
 			case ChurnRestart, ChurnRejoin:
 				if len(c.crashed) == 0 {
 					continue // nothing to revive; no-op
@@ -414,6 +477,33 @@ func (c *Churner) PopUntil(tick int, live []bool) []ChurnOp {
 		}
 	}
 	return c.ops
+}
+
+// pickTargeted selects the live node with the extreme rank — the
+// maximum for crashmax (kill the best-informed node), the minimum for
+// crashfrontier (kill the straggler the stream frontier waits on) —
+// breaking ties toward the lowest id so the choice is deterministic.
+// Without a rank oracle it falls back to a uniform draw; like
+// pickLive it refuses to reduce the cluster below two live nodes.
+func (c *Churner) pickTargeted(live []bool, max bool) int {
+	if c.rank == nil {
+		return c.pickLive(live)
+	}
+	count, victim, best := 0, -1, 0
+	for id, l := range live {
+		if !l {
+			continue
+		}
+		count++
+		r := c.rank(id)
+		if victim < 0 || (max && r > best) || (!max && r < best) {
+			victim, best = id, r
+		}
+	}
+	if count < 2 {
+		return -1
+	}
+	return victim
 }
 
 // pickLive draws a uniform victim among live nodes, or -1 when fewer

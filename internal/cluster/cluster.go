@@ -422,6 +422,10 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 		live:    make([]bool, maxN),
 		ch:      NewChurner(cfg.Churn, cfg.N, maxN, cfg.Seed),
 	}
+	if cfg.Churn.HasTargeted() {
+		cr.ranks = make([]atomic.Int64, maxN)
+		cr.ch.SetRank(func(id int) int { return int(cr.ranks[id].Load()) })
+	}
 	for i := 0; i < cfg.N; i++ {
 		cr.live[i] = true
 	}
@@ -493,6 +497,9 @@ type member struct {
 	// emission. Nil (every in-process run) means one Pick draw exactly,
 	// which is what keeps the lockstep golden transcripts byte-stable.
 	known func(int) bool
+	// rank, when non-nil, publishes the node's decoding progress for
+	// the targeted-crash oracle after every innovative receipt.
+	rank *atomic.Int64
 }
 
 // pick samples a live peer for an emission. With a known gate it
@@ -526,6 +533,13 @@ type clusterRun struct {
 	members []*member
 	live    []bool
 	ch      *Churner
+	// ranks backs the targeted-crash rank oracle (ChurnCrashMax /
+	// ChurnCrashFrontier): each member publishes its decoding progress
+	// here on every innovative receipt, and the churner reads it when
+	// selecting victims — atomically, because the async churn
+	// controller runs on its own goroutine. Nil unless the schedule
+	// HasTargeted, so untargeted runs pay nothing.
+	ranks []atomic.Int64
 }
 
 // newMember builds one node's full runtime state independent of any
@@ -577,6 +591,10 @@ func newMember(mode Mode, seed int64, toks []token.Token, id, n, maxN int, seedT
 // snapshot of the nodes currently live — a joiner's contact list.
 func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
 	mb := newMember(cr.cfg.Mode, cr.cfg.Seed, cr.toks, id, cr.cfg.N, cr.maxN, seedTokens, cr.live, now, &cr.res.Nodes[id], cr.cfg.Telemetry)
+	if cr.ranks != nil {
+		mb.rank = &cr.ranks[id]
+		mb.rank.Store(int64(mb.g.progress()))
+	}
 	cr.members[id] = mb
 	return mb
 }
@@ -612,6 +630,9 @@ func (mb *member) recv(raw []byte, now int64) bool {
 	mb.m.PacketsIn++
 	mb.view.Mark(sender, now)
 	innovative := mb.g.absorb(p)
+	if innovative && mb.rank != nil {
+		mb.rank.Store(int64(mb.g.progress()))
+	}
 	if mb.tel != nil { // progress() is only worth computing when tracing
 		mb.tel.Event(mb.id, now, telemetry.KindRecv, int64(sender), int64(p.Env.Epoch), 0)
 		c := int64(0)
@@ -774,6 +795,7 @@ func (cr *clusterRun) runLockstep(ctx context.Context) {
 			return
 		default:
 		}
+		ObserveTick(cr.tr, int64(tick))
 		for _, op := range cr.ch.PopUntil(tick, cr.live) {
 			cr.applyLockstep(op, tick)
 		}

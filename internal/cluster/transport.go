@@ -27,6 +27,27 @@ type Transport interface {
 	Close()
 }
 
+// TickObserver is an optional Transport facet: the lockstep drivers
+// (cluster and stream) call ObserveTick on Config.Transport at the
+// start of every tick, so tick-aware middleware — the adversarial
+// topology and packet-mutation layers in internal/hostile — advances
+// its clock in sync with the driver instead of guessing from wall time.
+// A middleware that implements it should forward the call to its inner
+// transport when that transport also implements TickObserver, so a
+// whole stack advances together. Transports without the facet are
+// simply not called.
+type TickObserver interface {
+	ObserveTick(tick int64)
+}
+
+// ObserveTick type-asserts and forwards one driver tick; the shared
+// helper keeps both lockstep drivers' call sites identical.
+func ObserveTick(t Transport, tick int64) {
+	if ob, ok := t.(TickObserver); ok {
+		ob.ObserveTick(tick)
+	}
+}
+
 // ChanTransport is the in-process transport: one buffered channel per
 // node. A Send to a full inbox drops the packet — backpressure shows up
 // as loss, exactly as on a saturated datagram socket.

@@ -1,4 +1,4 @@
-// Package exp defines the repository's experiments E1..E11 — the paper's
+// Package exp defines the repository's experiments E1..E14 — the paper's
 // "tables and figures". The paper itself is analysis-only, so each
 // experiment turns one quantitative theorem into a measured table whose
 // shape (scaling exponent, ratio trend, crossover, separation) must
@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"E11", "async coded gossip beats store-and-forward under loss (Thm 2.3, cluster runtime)", E11},
 		{"E12", "pipelined generation windows beat sequential streaming under loss (perfect pipelining, stream runtime)", E12},
 		{"E13", "coded gossip keeps its edge under node churn; mid-stream joiners catch up (membership subsystem)", E13},
+		{"E14", "coding's margin widens under adaptive dynamics and survives hostile packets (fault-injection suite)", E14},
 	}
 }
 

@@ -1,0 +1,121 @@
+// Package hostile is the seeded fault-injection layer for the
+// asynchronous runtimes: it lifts the synchronous engine's topology
+// adversaries (internal/adversary) into cluster.Transport middleware,
+// adds an adaptive adversary that reads the telemetry rank scoreboard,
+// replays recorded mobility traces, and mutates packets in flight
+// (duplication, stale-epoch replay, truncation, bit flips,
+// cross-generation reordering). Every layer draws from its own seeded
+// RNG, so under the lockstep drivers a hostile run is — like churn and
+// loss — a pure function of the run seed.
+//
+// The layers compose with the existing middlewares (WithLoss,
+// WithReorder, WithDelay, WithPartition) but must sit ABOVE them in the
+// stack (closer to the sender): both WithAdversary and WithMutator run
+// on the sender's goroutine and attribute their telemetry events to the
+// sender's ring, which WithDelay's timer goroutines would break. The
+// cliutil stacking helpers preserve this order.
+//
+// Clock: the lockstep drivers push their tick into the stack via
+// cluster.TickObserver. The async and multi-process runtimes instead
+// set TopoConfig.Interval, and the layer derives the tick from wall
+// time — identically-seeded processes then see approximately the same
+// topology schedule, exactly as churn events map to At×Interval wall
+// offsets.
+package hostile
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dynnet"
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// TopoConfig tunes the WithAdversary middleware.
+type TopoConfig struct {
+	// Interval, when positive, derives the adversary's round clock from
+	// wall time (elapsed / Interval) — the async and udpnet runtimes'
+	// mode. Zero means the clock advances only via ObserveTick (the
+	// lockstep drivers).
+	Interval time.Duration
+	// Telemetry, when non-nil, traces every blocked Send as a
+	// KindAdvCut event on the sender's ring.
+	Telemetry *telemetry.Recorder
+}
+
+// advTransport filters Sends through a per-tick adversary topology.
+type advTransport struct {
+	cluster.Transport
+	adv dynnet.Adversary
+	cfg TopoConfig
+
+	mu      sync.Mutex
+	tick    int64
+	cur     *graph.Graph // the tick's topology, valid until the next query
+	curTick int64        // tick the cached graph was computed for (-1 = none)
+	start   time.Time
+}
+
+// WithAdversary decorates t so a Send is dropped unless the adversary's
+// topology for the current tick has the (from, to) edge: the
+// synchronous model's "the adversary chooses each round's graph",
+// replayed against the asynchronous runtimes. The adversary is queried
+// once per tick (its returned graph is held for the tick, compatible
+// with scratch-reusing adversaries like RandomConnected); ids outside
+// the graph's vertex range are always blocked. A nil adversary returns
+// t unchanged.
+func WithAdversary(t cluster.Transport, adv dynnet.Adversary, cfg TopoConfig) cluster.Transport {
+	if adv == nil {
+		return t
+	}
+	return &advTransport{Transport: t, adv: adv, cfg: cfg, curTick: -1, start: time.Now()}
+}
+
+// ObserveTick implements cluster.TickObserver: the lockstep drivers'
+// clock. Forwarded down the stack so lower tick-aware layers advance
+// too.
+func (a *advTransport) ObserveTick(tick int64) {
+	a.mu.Lock()
+	if tick > a.tick {
+		a.tick = tick
+	}
+	a.mu.Unlock()
+	cluster.ObserveTick(a.Transport, tick)
+}
+
+// edgeUp consults (and lazily recomputes) the tick's topology. Callers
+// hold a.mu.
+func (a *advTransport) edgeUp(from, to int) bool {
+	if a.cfg.Interval > 0 {
+		if t := int64(time.Since(a.start) / a.cfg.Interval); t > a.tick {
+			a.tick = t
+		}
+	}
+	if a.cur == nil || a.curTick != a.tick {
+		// Query exactly once per tick and hold the result for the whole
+		// tick: scratch-reusing adversaries (RandomConnected) invalidate
+		// their previous graph on every Graph call.
+		a.cur = a.adv.Graph(int(a.tick), nil)
+		a.curTick = a.tick
+	}
+	g := a.cur
+	n := g.N()
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return false
+	}
+	return g.HasEdge(from, to)
+}
+
+func (a *advTransport) Send(from, to int, pkt []byte) bool {
+	a.mu.Lock()
+	up := a.edgeUp(from, to)
+	tick := a.tick
+	a.mu.Unlock()
+	if !up {
+		a.cfg.Telemetry.Event(from, tick, telemetry.KindAdvCut, int64(to), 0, 0)
+		return false
+	}
+	return a.Transport.Send(from, to, pkt)
+}

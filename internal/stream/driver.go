@@ -22,6 +22,21 @@ type streamRun struct {
 	nodes []*node
 	live  []bool
 	ch    *cluster.Churner
+	// ranks backs the targeted-crash oracle (crashfrontier): each node
+	// publishes its delivery watermark here, and the churner reads it
+	// atomically when selecting victims. Nil unless the schedule
+	// HasTargeted.
+	ranks []atomic.Int64
+}
+
+// attachRank points nd at its slot of the targeted-crash scoreboard
+// (a no-op in untargeted runs) and publishes its current watermark.
+func (sr *streamRun) attachRank(nd *node) {
+	if sr.ranks == nil {
+		return
+	}
+	nd.rank = &sr.ranks[nd.id]
+	nd.rank.Store(int64(nd.delivered))
 }
 
 func (sr *streamRun) firstErr() error {
@@ -41,6 +56,7 @@ func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
 	switch op.Kind {
 	case cluster.ChurnJoin, cluster.ChurnRejoin:
 		nd := newNode(op.ID, sr.cfg, sr.src, m, sr.live, int64(tick), true)
+		sr.attachRank(nd)
 		sr.nodes[op.ID] = nd
 		m.Done = false
 		m.DoneTick = 0
@@ -117,6 +133,7 @@ func (sr *streamRun) runLockstep(ctx context.Context) error {
 			return nil
 		default:
 		}
+		cluster.ObserveTick(sr.tr, int64(tick))
 		for _, op := range sr.ch.PopUntil(tick, sr.live) {
 			sr.applyLockstep(op, tick)
 		}
@@ -358,6 +375,7 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 					case cluster.ChurnJoin, cluster.ChurnRejoin:
 						tk.mu.Lock()
 						sr.nodes[op.ID] = newNode(op.ID, cfg, sr.src, m, tk.live, int64(time.Since(start)), true)
+						sr.attachRank(sr.nodes[op.ID])
 						m.Done = false
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -137,6 +138,10 @@ type node struct {
 	// believes live. Nil (every in-process run) keeps randPeer a single
 	// Pick draw, which the lockstep golden transcripts pin.
 	known func(int) bool
+
+	// rank, when non-nil, publishes the node's delivery watermark for
+	// the targeted-crash oracle (crashfrontier kills the straggler).
+	rank *atomic.Int64
 }
 
 // newNode builds the runtime state for one node. live is the current
@@ -270,6 +275,9 @@ func (nd *node) deliverReady() {
 		}
 		nd.delivered++
 		nd.marks[nd.id] = nd.delivered
+		if nd.rank != nil {
+			nd.rank.Store(int64(nd.delivered))
+		}
 		nd.m.Delivered++
 		nd.tel.Event(nd.id, nd.now, telemetry.KindDeliver, int64(g), int64(nd.delivered), 0)
 		if nd.deliver != nil {

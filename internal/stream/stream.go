@@ -35,6 +35,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -425,11 +426,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		live:  make([]bool, maxN),
 		ch:    cluster.NewChurner(cfg.Churn, cfg.N, maxN, cfg.Seed),
 	}
+	if cfg.Churn.HasTargeted() {
+		sr.ranks = make([]atomic.Int64, maxN)
+		sr.ch.SetRank(func(id int) int { return int(sr.ranks[id].Load()) })
+	}
 	for i := 0; i < cfg.N; i++ {
 		sr.live[i] = true
 	}
 	for i := 0; i < cfg.N; i++ {
 		sr.nodes[i] = newNode(i, cfg, src, &res.Nodes[i], sr.live, 0, false)
+		sr.attachRank(sr.nodes[i])
 	}
 
 	start := time.Now()

@@ -49,6 +49,14 @@ const (
 	// KindSuspect is a local suspicion verdict: the recording node
 	// dropped peer A from its retirement frontier for silence.
 	KindSuspect
+	// KindAdvCut is a Send the adversarial topology layer blocked:
+	// recorded on the sender, A=peer. The tick is the adversary's round
+	// clock, which under the lockstep drivers equals the driver tick.
+	KindAdvCut
+	// KindMutate is a hostile-packet mutation applied to an outgoing
+	// Send: recorded on the sender, A=peer, B=the mutation op code
+	// (hostile.Op).
+	KindMutate
 
 	numKinds
 )
@@ -59,6 +67,7 @@ var kindNames = [numKinds]string{
 	"recv", "recv_ack", "recv_hello",
 	"drop", "insert", "deliver", "retire", "frontier",
 	"join", "leave", "crash", "restart", "suspect",
+	"adv_cut", "mutate",
 }
 
 // String returns the kind's stable export name.
@@ -161,6 +170,16 @@ type nodeRec struct {
 	samples []Sample
 }
 
+// nodeStat is the recorder's live per-node scoreboard, maintained as a
+// side effect of Event/Sample recording. Unlike the rings and series it
+// is written and read with atomics, so an adversary (internal/hostile)
+// may consult it concurrently with recording.
+type nodeStat struct {
+	rank atomic.Int64 // latest decoding progress / delivery watermark
+	seen atomic.Bool  // any event or sample recorded for this id
+	dead atomic.Bool  // last membership event was a crash or leave
+}
+
 // Recorder collects events and samples for one run. The zero value is
 // not usable; construct with New. A nil *Recorder is the disabled
 // state: every method below is a nil-receiver no-op.
@@ -176,6 +195,8 @@ type Recorder struct {
 	eventsDropped  atomic.Int64
 	samplesDropped atomic.Int64
 
+	stats []nodeStat // live rank scoreboard; see LiveRank
+
 	netSamples []NetSample // owned by the net sampler goroutine
 }
 
@@ -184,7 +205,7 @@ func New(cfg Config) *Recorder {
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 1
 	}
-	return &Recorder{cfg: cfg, recs: make([]nodeRec, cfg.Nodes)}
+	return &Recorder{cfg: cfg, recs: make([]nodeRec, cfg.Nodes), stats: make([]nodeStat, cfg.Nodes)}
 }
 
 // Nodes returns the recorder's node id space.
@@ -226,6 +247,38 @@ func (r *Recorder) Event(node int, tick int64, k Kind, a, b, c int64) {
 		r.eventsDropped.Add(1)
 	}
 	r.kindCounts[k].Add(1)
+
+	// Maintain the live scoreboard: rank moves on insert/deliver,
+	// liveness flips on membership events, any event proves the id is
+	// part of the run.
+	st := &r.stats[node]
+	st.seen.Store(true)
+	switch k {
+	case KindInsert, KindDeliver:
+		st.rank.Store(b)
+	case KindCrash, KindLeave:
+		st.dead.Store(true)
+	case KindJoin, KindRestart:
+		st.dead.Store(false)
+	}
+}
+
+// LiveRank reads the scoreboard Event/Sample recording maintains: node's
+// latest decoding progress (cluster: span rank / token count, via
+// KindInsert) or delivery watermark (stream, via KindDeliver), and
+// whether the node has been observed at all without a subsequent
+// crash/leave. It is the adaptive adversary's window into the run
+// (internal/hostile) and is safe to call concurrently with recording. A
+// nil receiver or out-of-range id reports ok=false.
+func (r *Recorder) LiveRank(node int) (rank int64, ok bool) {
+	if r == nil || node < 0 || node >= len(r.stats) {
+		return 0, false
+	}
+	st := &r.stats[node]
+	if !st.seen.Load() || st.dead.Load() {
+		return 0, false
+	}
+	return st.rank.Load(), true
 }
 
 // Sample appends one time-series point for node unconditionally (the
@@ -247,6 +300,9 @@ func (r *Recorder) Sample(node int, tick int64, rank, watermark, inbox, view int
 		Inbox: int32(inbox), View: int32(view),
 	})
 	r.sampleCount.Add(1)
+	st := &r.stats[node]
+	st.seen.Store(true)
+	st.rank.Store(int64(rank))
 }
 
 // SampleTick is Sample under the lockstep drivers: it thins to every

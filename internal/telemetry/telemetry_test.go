@@ -11,6 +11,7 @@ func TestKindNamesStable(t *testing.T) {
 		"recv", "recv_ack", "recv_hello",
 		"drop", "insert", "deliver", "retire", "frontier",
 		"join", "leave", "crash", "restart", "suspect",
+		"adv_cut", "mutate",
 	}
 	if int(numKinds) != len(want) {
 		t.Fatalf("numKinds = %d, want %d", numKinds, len(want))

@@ -5,6 +5,14 @@
 #   scripts/localnet.sh                 # 16 processes, k=32
 #   scripts/localnet.sh -n 256 -k 64    # the ISSUE's scale target
 #   scripts/localnet.sh -n 8 -m stream -g 8
+#   HOSTILE=1 scripts/localnet.sh       # every node mutates its outgoing packets
+#
+# HOSTILE=1 passes -mutate "$MUTATE" (default: every op at low rates)
+# to every node, so each process injects duplicated, stale-replayed,
+# truncated and bit-flipped datagrams into the real sockets; the run
+# must still decode everywhere, and the script then asserts the drop
+# summary actually shows the mutated kinds being rejected (truncated
+# plus the version/type/malformed parse buckets non-zero).
 #
 # Each node is one cmd/node OS process bound to 127.0.0.1:(base+id);
 # node 0 is the bootstrap peer, everyone else learns the membership
@@ -28,6 +36,8 @@ BASEPORT=17000
 TIMEOUT=120s
 INTERVAL=""
 OUTDIR=${OUTDIR:-localnet-logs}
+HOSTILE=${HOSTILE:-0}
+MUTATE=${MUTATE:-dup:0.05,stale:0.05,trunc:0.03,flip:0.02,xgen:0.03}
 
 usage() { grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 1; }
 while getopts "n:k:p:m:g:s:b:t:i:o:h" opt; do
@@ -60,6 +70,7 @@ fi
 LINGER=$(( N > 256 ? 60 : 5 ))s
 
 echo "localnet: n=$N k=$K mode=$MODE interval=$INTERVAL outdir=$OUTDIR"
+if ((HOSTILE)); then echo "localnet: HOSTILE mode, mutate=$MUTATE"; fi
 mkdir -p "$OUTDIR"
 go build -o "$OUTDIR/node.bin" ./cmd/node
 rm -f "$OUTDIR"/node*.log "$OUTDIR"/node*.metrics
@@ -81,6 +92,7 @@ for ((id = 0; id < N; id++)); do
     -metrics "$OUTDIR/node$id.metrics"
   )
   if ((id > 0)); then args+=(-bootstrap "$BOOT"); fi
+  if ((HOSTILE)); then args+=(-mutate "$MUTATE"); fi
   # Node 0 answers every joiner's bootstrap ping; on an oversubscribed
   # host a fair 1/n CPU share can't absorb that, so it runs at higher
   # priority (best-effort: nice still launches if it can't renice).
@@ -128,5 +140,24 @@ if ((fail != 0 || done_ok != N)); then
   echo "localnet: FAILED — unfinished nodes:" >&2
   grep -L '^DONE .*ok=true' "$OUTDIR"/node*.log >&2 || true
   exit 1
+fi
+
+# A hostile run that shows zero drops in the mutated kinds means the
+# injection silently did nothing — fail loudly, not greenly. Truncation
+# must land in the truncated bucket; bit flips land in version (the
+# recipe forces the version byte when a flip would still parse), type
+# or malformed depending on where the flip hit.
+if ((HOSTILE)); then
+  awk -F= '
+    /^udp_drop_truncated=/ {trunc+=$2}
+    /^udp_drop_version=/ {parse+=$2}
+    /^udp_drop_type=/ {parse+=$2}
+    /^udp_drop_malformed=/ {parse+=$2}
+    END {
+      if (trunc == 0) { print "localnet: HOSTILE but no truncated drops" > "/dev/stderr"; exit 1 }
+      if (parse == 0) { print "localnet: HOSTILE but no version/type/malformed drops" > "/dev/stderr"; exit 1 }
+      printf "localnet: hostile drops confirmed: truncated=%.0f version+type+malformed=%.0f\n", trunc, parse
+    }
+  ' "$OUTDIR"/node*.metrics
 fi
 echo "localnet: OK"
