@@ -443,6 +443,40 @@ func BenchmarkStreamWindowSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLockstepSharded exposes the shard-count axis of the
+// deterministic cluster engine as b.Run sub-benchmarks, so the serial
+// fast path (shards=1, exactly the pre-sharding driver) and the
+// sharded exchange-barrier path (shards=4) are guarded separately by
+// benchguard. Transcripts are bit-identical across the axis; the
+// sub-benchmarks exist to catch cost regressions in either path — the
+// outbox capture/replay overhead at shards>1, and any creep in the
+// inline path at shards=1.
+func BenchmarkLockstepSharded(b *testing.B) {
+	const n, k, d = 64, 16, 64
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var ticks int
+			for i := 0; i < b.N; i++ {
+				toks := token.RandomSet(k, d, rand.New(rand.NewSource(int64(i))))
+				res, err := cluster.Run(ctx, cluster.Config{
+					N: n, Fanout: 2, Mode: cluster.Coded, Seed: int64(i),
+					Lockstep: true, Shards: shards, MaxTicks: 200000,
+				}, toks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("cluster incomplete")
+				}
+				ticks = res.Ticks
+			}
+			b.ReportMetric(float64(ticks), "ticks")
+		})
+	}
+}
+
 // BenchmarkWireRoundTrip times the codec on a cluster-sized coded
 // packet (k = 32, 192-bit vectors including the coded UIDs), on the
 // steady-state hot path the gossip runtimes use: AppendTo into a reused

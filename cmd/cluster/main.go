@@ -54,6 +54,7 @@ func main() {
 		payload  = flag.Int("payload", 128, "token payload size in bits")
 		loss     = flag.Float64("loss", 0, "packet loss rate in [0,1)")
 		fanout   = flag.Int("fanout", 2, "peers contacted per emission")
+		shards   = flag.Int("shards", 1, "lockstep worker shards (bit-identical to serial at any count)")
 		mode     = flag.String("mode", "coded", "gossip mode: coded | forward")
 		tp       = flag.String("transport", "chan", "transport: chan (async) | lockstep (deterministic)")
 		seed     = flag.Int64("seed", 1, "random seed (lockstep runs are a pure function of it)")
@@ -70,16 +71,19 @@ func main() {
 		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *n, *k, *payload, *loss, *fanout, *mode, *tp, *seed,
+	if err := run(os.Stdout, *n, *k, *payload, *loss, *fanout, *shards, *mode, *tp, *seed,
 		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *adv, *mutate, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp string, seed int64,
+func run(w io.Writer, n, k, payload int, loss float64, fanout, shards int, modeName, tp string, seed int64,
 	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, advSpec, mutateSpec, traceDir, traceFile string) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateShards(shards, n); err != nil {
 		return err
 	}
 	if err := cliutil.ValidateBuffer(buffer); err != nil {
@@ -97,6 +101,9 @@ func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp 
 	lockstep, err := cliutil.ParseTransport(tp)
 	if err != nil {
 		return err
+	}
+	if shards > 1 && !lockstep {
+		return fmt.Errorf("-shards needs the deterministic driver (the async runtime is already concurrent); use -transport lockstep")
 	}
 	sched, err := cliutil.ParseChurnFlag(churnSpec)
 	if err != nil {
@@ -138,8 +145,8 @@ func run(w io.Writer, n, k, payload int, loss float64, fanout int, modeName, tp 
 	defer stop()
 	res, err := cluster.Run(ctx, cluster.Config{
 		N: n, Fanout: fanout, Mode: mode, Seed: seed, Transport: tr,
-		Interval: interval, Timeout: timeout, Lockstep: lockstep, MaxTicks: maxTicks,
-		Churn: sched, Telemetry: rec,
+		Interval: interval, Timeout: timeout, Lockstep: lockstep, Shards: shards,
+		MaxTicks: maxTicks, Churn: sched, Telemetry: rec,
 	}, toks)
 	if err != nil {
 		return err

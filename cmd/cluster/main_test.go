@@ -14,7 +14,7 @@ import (
 type runArgs struct {
 	n, k, payload   int
 	loss            float64
-	fanout          int
+	fanout, shards  int
 	mode, tp        string
 	seed            int64
 	delay           time.Duration
@@ -26,14 +26,14 @@ type runArgs struct {
 }
 
 func defaults() runArgs {
-	return runArgs{n: 8, k: 4, payload: 32, fanout: 2, mode: "coded", tp: "lockstep", seed: 1}
+	return runArgs{n: 8, k: 4, payload: 32, fanout: 2, shards: 1, mode: "coded", tp: "lockstep", seed: 1}
 }
 
 func (a runArgs) run(w io.Writer) error {
 	if w == nil {
 		w = io.Discard
 	}
-	return run(w, a.n, a.k, a.payload, a.loss, a.fanout, a.mode, a.tp, a.seed,
+	return run(w, a.n, a.k, a.payload, a.loss, a.fanout, a.shards, a.mode, a.tp, a.seed,
 		500*time.Microsecond, 30*time.Second, a.delay, a.reorder, a.buffer, a.maxTick, a.churn,
 		a.adv, a.mutate, a.trace, a.telem)
 }
@@ -51,6 +51,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"fanout zero", func(a *runArgs) { a.fanout = 0 }, "-fanout"},
 		{"fanout at n", func(a *runArgs) { a.fanout = 8 }, "-fanout"},
 		{"fanout above n", func(a *runArgs) { a.fanout = 100 }, "-fanout"},
+		{"shards zero", func(a *runArgs) { a.shards = 0 }, "-shards"},
+		{"shards negative", func(a *runArgs) { a.shards = -4 }, "-shards"},
+		{"shards above n", func(a *runArgs) { a.shards = 9 }, "-shards"},
+		{"shards on async transport", func(a *runArgs) { a.shards = 2; a.tp = "chan" }, "-shards"},
 		{"buffer negative", func(a *runArgs) { a.buffer = -2 }, "-buffer"},
 		{"loss negative", func(a *runArgs) { a.loss = -0.1 }, "-loss"},
 		{"loss one", func(a *runArgs) { a.loss = 1.0 }, "-loss"},
@@ -84,6 +88,25 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunLockstepSmallCompletes(t *testing.T) {
 	if err := defaults().run(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunShardedMatchesSerial drives the sharded engine through the
+// CLI path and pins its bit-identity at the surface: same seed, same
+// printed report.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	var serial, sharded strings.Builder
+	if err := defaults().run(&serial); err != nil {
+		t.Fatal(err)
+	}
+	a := defaults()
+	a.shards = 4
+	if err := a.run(&sharded); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Errorf("sharded CLI output diverges from serial:\n--- serial ---\n%s--- shards=4 ---\n%s",
+			serial.String(), sharded.String())
 	}
 }
 

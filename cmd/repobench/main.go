@@ -16,11 +16,12 @@
 //	repobench -driver stream  -sweep window=1:1:6 -generations 8
 //	repobench -driver stream  -sweep loss=0:0.1:0.4
 //	repobench -driver cluster -sweep churn=0:1:3   # crash/join pairs
+//	repobench -driver cluster -sweep shards=1:1:4  # sharded lockstep scaling
 //	repobench -driver engine  -sweep k=16:16:96    # synchronous engine
 //
 // Sweep grammar: -sweep param=min:step:max with param one of
-// n | k | loss | window | fanout | churn. The remaining parameters are
-// fixed by their flags.
+// n | k | loss | window | fanout | churn | shards. The remaining
+// parameters are fixed by their flags.
 //
 // Display mode renders SVG line charts (pure Go, no gnuplot):
 //
@@ -66,16 +67,16 @@ func main() {
 
 // fixed are the non-swept run parameters.
 type fixed struct {
-	n, k, payload, window, gens, fanout int
-	loss                                float64
-	seed                                int64
+	n, k, payload, window, gens, fanout, shards int
+	loss                                        float64
+	seed                                        int64
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sweep    = fs.String("sweep", "", "generate mode: param=min:step:max with param n|k|loss|window|fanout|churn")
+		sweep    = fs.String("sweep", "", "generate mode: param=min:step:max with param n|k|loss|window|fanout|churn|shards")
 		driver   = fs.String("driver", "cluster", "generate mode: cluster | stream | engine (lockstep/synchronous drivers)")
 		display  = fs.String("display", "", "display mode: sweep (benchdata curves per revision) | history (BENCH_PR*.json trajectory)")
 		stat     = fs.String("stat", "runtime", "statistic to chart: runtime | allocs | bytes | heap | tokens")
@@ -84,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		datadir  = fs.String("datadir", "benchdata", "datafile directory")
 		benchDir = fs.String("benchdir", ".", "directory holding the committed BENCH_PR*.json baselines")
 		rev      = fs.String("rev", "", "revision key for the datafile name (default: git rev-parse --short HEAD)")
-		guard    = fs.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState,BenchmarkChurnSteadyState,BenchmarkStreamWindowSweep/W=4",
+		guard    = fs.String("guard", "BenchmarkEngineRound,BenchmarkWireRoundTrip,BenchmarkStreamSustained,BenchmarkEmitInsertSteadyState,BenchmarkChurnSteadyState,BenchmarkStreamWindowSweep/W=4,BenchmarkLockstepSharded/shards=1,BenchmarkLockstepSharded/shards=4",
 			"display history: comma-separated benchmarks to chart")
 
 		n       = fs.Int("n", 16, "nodes")
@@ -93,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		window  = fs.Int("window", 4, "stream window (stream driver)")
 		gens    = fs.Int("generations", 8, "stream length (stream driver)")
 		fanout  = fs.Int("fanout", 2, "peers per emission")
+		shards  = fs.Int("shards", 1, "lockstep worker shards (cluster/stream drivers)")
 		loss    = fs.Float64("loss", 0, "packet loss rate in [0,1)")
 		seed    = fs.Int64("seed", 1, "base seed (runs are pure functions of it)")
 	)
@@ -100,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fx := fixed{n: *n, k: *k, payload: *payload, window: *window, gens: *gens,
-		fanout: *fanout, loss: *loss, seed: *seed}
+		fanout: *fanout, shards: *shards, loss: *loss, seed: *seed}
 
 	var err error
 	switch {
@@ -194,13 +196,13 @@ func parseRow(line string) (row, error) {
 	return r, nil
 }
 
-var sweepRe = regexp.MustCompile(`^(n|k|loss|window|fanout|churn)=([^:]+):([^:]+):([^:]+)$`)
+var sweepRe = regexp.MustCompile(`^(n|k|loss|window|fanout|churn|shards)=([^:]+):([^:]+):([^:]+)$`)
 
 // parseSweep parses the param=min:step:max grammar.
 func parseSweep(s string) (param string, min, step, max float64, err error) {
 	m := sweepRe.FindStringSubmatch(s)
 	if m == nil {
-		return "", 0, 0, 0, fmt.Errorf("bad -sweep %q: want param=min:step:max with param n|k|loss|window|fanout|churn", s)
+		return "", 0, 0, 0, fmt.Errorf("bad -sweep %q: want param=min:step:max with param n|k|loss|window|fanout|churn|shards", s)
 	}
 	vals := make([]float64, 3)
 	for i, f := range m[2:5] {
@@ -257,12 +259,17 @@ func generate(stdout io.Writer, datadir, revOverride, driver, sweepSpec string, 
 		}
 	}
 
-	// Float accumulation must not drop the last point (e.g.
-	// loss=0:0.1:0.4); half a step of tolerance is safe because step>0.
-	// Rounding to 9 decimals keeps accumulated values like
-	// 0.30000000000000004 from leaking into datafiles and labels.
-	for v := min; v <= max+step/2; v += step {
-		v := math.Round(v*1e9) / 1e9
+	// Walk the grid by index, not by float accumulation: v = min + i*step
+	// has one rounding error per point instead of i accumulated ones, so
+	// endpoints land exactly (the accumulating loop's half-step tolerance
+	// silently dropped max for integer grids like shards=1:1:4, where
+	// drift pushed the last point past max+step/2). The epsilon absorbs
+	// representation error in (max-min)/step for fractional steps like
+	// 0:0.1:0.4; rounding to 9 decimals keeps values like
+	// 0.30000000000000004 out of datafiles and labels.
+	nsteps := int(math.Floor((max-min)/step + 1e-9))
+	for i := 0; i <= nsteps; i++ {
+		v := math.Round((min+float64(i)*step)*1e9) / 1e9
 		r, err := measure(driver, param, v, fx)
 		if err != nil {
 			return fmt.Errorf("%s sweep %s=%g: %w", driver, param, v, err)
@@ -297,7 +304,7 @@ func measure(driver, param string, v float64, fx fixed) (row, error) {
 	r := row{driver: driver, param: param, value: v}
 
 	apply := func(dst *int) error { *dst = iv; return nil }
-	setInt := map[string]*int{"n": &fx.n, "k": &fx.k, "window": &fx.window, "fanout": &fx.fanout}
+	setInt := map[string]*int{"n": &fx.n, "k": &fx.k, "window": &fx.window, "fanout": &fx.fanout, "shards": &fx.shards}
 
 	churnPairs := 0
 	switch param {
@@ -325,7 +332,7 @@ func measure(driver, param string, v float64, fx fixed) (row, error) {
 		case "cluster":
 			res, err := cluster.SweepRun(cluster.SweepParams{
 				N: fx.n, K: fx.k, PayloadBits: fx.payload, Fanout: fx.fanout,
-				Loss: fx.loss, Churn: churn, Seed: fx.seed,
+				Loss: fx.loss, Churn: churn, Seed: fx.seed, Shards: fx.shards,
 			})
 			if err != nil {
 				return err
@@ -344,7 +351,7 @@ func measure(driver, param string, v float64, fx fixed) (row, error) {
 			res, err := stream.SweepRun(stream.SweepParams{
 				N: fx.n, K: fx.k, PayloadBits: fx.payload, Window: fx.window,
 				Generations: fx.gens, Fanout: fx.fanout, Loss: fx.loss,
-				Churn: churn, Seed: fx.seed,
+				Churn: churn, Seed: fx.seed, Shards: fx.shards,
 			})
 			if err != nil {
 				return err
@@ -356,6 +363,9 @@ func measure(driver, param string, v float64, fx fixed) (row, error) {
 		case "engine":
 			if fx.loss > 0 || churn != nil {
 				return fmt.Errorf("the synchronous engine driver has no loss/churn axes")
+			}
+			if param == "shards" || fx.shards > 1 {
+				return fmt.Errorf("the synchronous engine driver has no shards axis (use -driver cluster or stream)")
 			}
 			if fx.k > fx.n {
 				return fmt.Errorf("engine driver needs k <= n (one source token per node), got k=%d n=%d", fx.k, fx.n)

@@ -221,6 +221,82 @@ func TestModeValidation(t *testing.T) {
 	}
 }
 
+// TestShardsSweepKeepsIntegerEndpoints is the regression test for the
+// endpoint bug the index-based grid fixed: the accumulating float loop
+// dropped max on integer grids (shards=1:1:4 lost 4) while emitting a
+// phantom point past max on strided ones (1:2:4 emitted 5). The grid
+// must be exactly {min + i*step} clipped to max.
+func TestShardsSweepKeepsIntegerEndpoints(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []float64
+	}{
+		{"shards=1:1:4", []float64{1, 2, 3, 4}},
+		{"shards=1:2:4", []float64{1, 3}},
+	}
+	for _, tc := range cases {
+		dir := t.TempDir()
+		code, _, errOut := execCLI(t, "-driver", "cluster", "-sweep", tc.spec,
+			"-n", "8", "-k", "4", "-payload", "32", "-datadir", dir, "-rev", "r1")
+		if code != 0 {
+			t.Fatalf("%s exited %d: %s", tc.spec, code, errOut)
+		}
+		rows, err := readDatafile(filepath.Join(dir, "r1.dat"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for _, r := range rows {
+			got = append(got, r.value)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s swept %v, want %v", tc.spec, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s swept %v, want %v", tc.spec, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestShardsSweepMatchesSerial pins transcript invariance through the
+// observatory: every point of a shards sweep is the same run, so
+// tokens/tick must be identical across the whole curve.
+func TestShardsSweepMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	code, _, errOut := execCLI(t, "-driver", "stream", "-sweep", "shards=1:1:3",
+		"-n", "6", "-k", "4", "-payload", "32", "-generations", "3", "-datadir", dir, "-rev", "r1")
+	if code != 0 {
+		t.Fatalf("shards sweep exited %d: %s", code, errOut)
+	}
+	rows, err := readDatafile(filepath.Join(dir, "r1.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("shards sweep rows %+v, want 3", rows)
+	}
+	for _, r := range rows[1:] {
+		if r.tokensPerTick != rows[0].tokensPerTick {
+			t.Errorf("tokens/tick varies across shard counts: %+v", rows)
+		}
+	}
+}
+
+// TestEngineShardsRejected mirrors the loss/churn rejection: the
+// synchronous engine driver has no shards axis, swept or fixed.
+func TestEngineShardsRejected(t *testing.T) {
+	if code, _, errOut := execCLI(t, "-driver", "engine", "-sweep", "shards=1:1:2",
+		"-datadir", t.TempDir(), "-rev", "x"); code != 1 || !strings.Contains(errOut, "engine") {
+		t.Errorf("engine shards sweep: exit %d, stderr %q; want rejection", code, errOut)
+	}
+	if code, _, errOut := execCLI(t, "-driver", "engine", "-sweep", "k=4:4:8", "-shards", "2",
+		"-n", "12", "-payload", "8", "-datadir", t.TempDir(), "-rev", "x"); code != 1 || !strings.Contains(errOut, "engine") {
+		t.Errorf("engine fixed -shards 2: exit %d, stderr %q; want rejection", code, errOut)
+	}
+}
+
 func TestChurnSweep(t *testing.T) {
 	dir := t.TempDir()
 	code, _, errOut := execCLI(t, "-driver", "cluster", "-sweep", "churn=0:1:2",

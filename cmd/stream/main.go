@@ -53,6 +53,7 @@ func main() {
 		gens     = flag.Int("generations", 16, "stream length in generations")
 		loss     = flag.Float64("loss", 0, "packet loss rate in [0,1)")
 		fanout   = flag.Int("fanout", 2, "peers contacted per emission")
+		shards   = flag.Int("shards", 1, "lockstep worker shards (bit-identical to serial at any count)")
 		tp       = flag.String("transport", "chan", "transport: chan (async) | lockstep (deterministic)")
 		seed     = flag.Int64("seed", 1, "random seed (lockstep runs are a pure function of it)")
 		interval = flag.Duration("interval", 500*time.Microsecond, "async emission pacing")
@@ -68,7 +69,7 @@ func main() {
 		telem    = flag.String("telemetry", "", "trace the run and write the telemetry v1 text export to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *n, *k, *payload, *window, *gens, *loss, *fanout, *tp, *seed,
+	if err := run(os.Stdout, *n, *k, *payload, *window, *gens, *loss, *fanout, *shards, *tp, *seed,
 		*interval, *timeout, *delay, *reorder, *buffer, *maxTicks, *churn, *adv, *mutate, *trace, *telem); err != nil {
 		fmt.Fprintln(os.Stderr, "stream:", err)
 		os.Exit(1)
@@ -77,8 +78,11 @@ func main() {
 
 // validate applies the shared gossip checks plus the stream-only
 // window/generations flags.
-func validate(n, k, payload, window, gens, fanout, buffer int, loss, reorder float64) error {
+func validate(n, k, payload, window, gens, fanout, shards, buffer int, loss, reorder float64) error {
 	if err := cliutil.ValidateGossip(n, k, payload, fanout, loss, reorder); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateShards(shards, n); err != nil {
 		return err
 	}
 	if err := cliutil.ValidateBuffer(buffer); err != nil {
@@ -93,14 +97,17 @@ func validate(n, k, payload, window, gens, fanout, buffer int, loss, reorder flo
 	return nil
 }
 
-func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int, tp string, seed int64,
+func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout, shards int, tp string, seed int64,
 	interval, timeout, delay time.Duration, reorder float64, buffer, maxTicks int, churnSpec, advSpec, mutateSpec, traceDir, traceFile string) error {
-	if err := validate(n, k, payload, window, gens, fanout, buffer, loss, reorder); err != nil {
+	if err := validate(n, k, payload, window, gens, fanout, shards, buffer, loss, reorder); err != nil {
 		return err
 	}
 	lockstep, err := cliutil.ParseTransport(tp)
 	if err != nil {
 		return err
+	}
+	if shards > 1 && !lockstep {
+		return fmt.Errorf("-shards needs the deterministic driver (the async runtime is already concurrent); use -transport lockstep")
 	}
 	sched, err := cliutil.ParseChurnFlag(churnSpec)
 	if err != nil {
@@ -142,7 +149,7 @@ func run(w io.Writer, n, k, payload, window, gens int, loss float64, fanout int,
 	defer stop()
 	res, err := stream.Run(ctx, stream.Config{
 		N: n, K: k, PayloadBits: payload, Window: window, Generations: gens, Fanout: fanout,
-		Seed: seed, Transport: tr, Lockstep: lockstep, MaxTicks: maxTicks,
+		Seed: seed, Transport: tr, Lockstep: lockstep, Shards: shards, MaxTicks: maxTicks,
 		Interval: interval, Timeout: timeout, Churn: sched, Telemetry: rec,
 	})
 	if err != nil {

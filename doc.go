@@ -25,6 +25,15 @@
 //	go run ./cmd/stream -n 32 -k 16 -generations 16 -loss 0.2
 //	go run ./cmd/stream -window 1 -transport lockstep    # sequential baseline
 //	go run ./cmd/stream -transport lockstep -loss 0.2 -churn "crash:30:1,join:60:1"
+//	go run ./cmd/cluster -transport lockstep -n 100000 -k 32 -shards 8
+//
+// The -shards flag runs the deterministic lockstep drivers sharded
+// across cores (internal/shard): nodes are partitioned into contiguous
+// ranges, per-node phases run in parallel against private outboxes,
+// and a serial barrier replays emissions in node-id order — so the
+// transcript is bit-identical to -shards 1 at any shard count, and one
+// 100k-node run fits CI-class memory. See DESIGN.md "Sharded lockstep
+// engine" for the phase diagram and the ordering rules.
 //
 // and see experiments E11 (DESIGN.md "Async cluster runtime") for
 // coded vs store-and-forward gossip under loss and E12 (DESIGN.md

@@ -45,6 +45,20 @@ func ValidateGossip(n, k, payload, fanout int, loss, reorder float64) error {
 	return nil
 }
 
+// ValidateShards rejects -shards values the sharded lockstep engine
+// cannot partition sensibly: shard counts below 1, and counts above n
+// (a shard per node is already maximal parallelism; asking for more is
+// a typo, not a request for empty shards).
+func ValidateShards(shards, n int) error {
+	switch {
+	case shards < 1:
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	case shards > n:
+		return fmt.Errorf("-shards must not exceed -n (%d nodes cannot fill %d shards), got %d", n, shards, shards)
+	}
+	return nil
+}
+
 // ValidateBuffer rejects negative explicit inbox buffers (0 means
 // auto-size).
 func ValidateBuffer(buffer int) error {

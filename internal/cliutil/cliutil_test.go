@@ -68,6 +68,19 @@ func TestValidateBuffer(t *testing.T) {
 	}
 }
 
+func TestValidateShards(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		if err := ValidateShards(shards, 8); err != nil {
+			t.Errorf("shards=%d n=8 rejected: %v", shards, err)
+		}
+	}
+	for _, shards := range []int{0, -1, 9, 100} {
+		if err := ValidateShards(shards, 8); err == nil || !strings.Contains(err.Error(), "-shards") {
+			t.Errorf("shards=%d n=8: err %v does not name -shards", shards, err)
+		}
+	}
+}
+
 func TestParseChurnFlag(t *testing.T) {
 	sched, err := ParseChurnFlag("join:10:1,crash:20:1")
 	if err != nil || sched == nil || len(sched.Events) != 2 {

@@ -215,11 +215,29 @@ func (s *ChurnSchedule) Validate() error {
 // crashed peer then simply keeps absorbing wasted sends as transport
 // drops; the stream runtime enables suspicion because its retirement
 // frontier would otherwise deadlock on a dead node's stale watermark).
+// A View starts in a compact dense representation — the common case
+// is "everyone 0..n-1 is live", which a full-membership run never
+// leaves — storing only the count and one shared last-heard stamp, so
+// a churnless n=100k cluster holds O(1) view state per node instead
+// of O(n). The first operation the dense form cannot represent
+// exactly (a mid-range removal, an out-of-order join, a per-peer
+// stamp deviation that suspicion would read) materializes the full
+// per-id live/heard arrays and continues with identical semantics.
+//
+// The shared dense stamp is exact while every mark uses one homogeneous
+// timestamp (how runs initialize views). When suspicion is off
+// (SuspectAfter == 0) stamps are never read, so the dense form also
+// tolerates heterogeneous marks; consequently SuspectAfter must be set
+// before marks deviate — the stream runtime sets it immediately after
+// construction — or materialized stamps inherit the running maximum.
 type View struct {
 	self  int
+	maxN  int
+	n     int
+	stamp int64
+	// live/heard are nil in dense mode; materialize() allocates them.
 	live  []bool
 	heard []int64
-	n     int
 	// SuspectAfter is the silence threshold beyond which a live peer
 	// stops being eligible for sampling and frontier membership. Zero
 	// means never suspect.
@@ -228,13 +246,24 @@ type View struct {
 
 // NewView returns an empty view for a node in an id space of maxN.
 func NewView(self, maxN int) *View {
-	return &View{self: self, live: make([]bool, maxN), heard: make([]int64, maxN)}
+	return &View{self: self, maxN: maxN}
+}
+
+// materialize switches from the dense {0..n-1} form to explicit
+// per-id arrays, stamping every live peer with the shared stamp.
+func (v *View) materialize() {
+	v.live = make([]bool, v.maxN)
+	v.heard = make([]int64, v.maxN)
+	for id := 0; id < v.n; id++ {
+		v.live[id] = true
+		v.heard[id] = v.stamp
+	}
 }
 
 // Fill marks ids 0..n-1 live with the given stamp — the initial
 // membership of a run, or a joiner's contact list prefix.
 func (v *View) Fill(n int, now int64) {
-	for id := 0; id < n && id < len(v.live); id++ {
+	for id := 0; id < n && id < v.maxN; id++ {
 		v.Mark(id, now)
 	}
 }
@@ -242,8 +271,14 @@ func (v *View) Fill(n int, now int64) {
 // Mark adds id to the view (if absent) and refreshes its last-heard
 // stamp. Marking the view's own node is allowed and keeps it live.
 func (v *View) Mark(id int, now int64) {
-	if id < 0 || id >= len(v.live) {
+	if id < 0 || id >= v.maxN {
 		return
+	}
+	if v.live == nil {
+		if v.denseMark(id, now) {
+			return
+		}
+		v.materialize()
 	}
 	if !v.live[id] {
 		v.live[id] = true
@@ -251,6 +286,35 @@ func (v *View) Mark(id int, now int64) {
 	}
 	if now > v.heard[id] {
 		v.heard[id] = now
+	}
+}
+
+// denseMark applies Mark in the dense form when the result is still
+// representable there, reporting whether it did. Refusals (id beyond
+// the dense prefix, or a stamp deviation that suspicion would read)
+// make the caller materialize and retry on the explicit arrays.
+func (v *View) denseMark(id int, now int64) bool {
+	switch {
+	case id < v.n: // already live: refresh the shared stamp
+		if now <= v.stamp {
+			return true
+		}
+		if v.SuspectAfter == 0 {
+			v.stamp = now
+			return true
+		}
+		return false // per-peer stamps now diverge and are read
+	case id == v.n: // extends the dense prefix by exactly one
+		if v.SuspectAfter == 0 || v.n == 0 || now == v.stamp {
+			v.n++
+			if now > v.stamp {
+				v.stamp = now
+			}
+			return true
+		}
+		return false
+	default:
+		return false
 	}
 }
 
@@ -262,7 +326,19 @@ func (v *View) Mark(id int, now int64) {
 // relayed lists would let one chatty node keep a crashed peer
 // unsuspected forever, deadlocking the stream's retirement frontier.
 func (v *View) Introduce(id int, now int64) {
-	if id >= 0 && id < len(v.live) && !v.live[id] {
+	if id < 0 || id >= v.maxN {
+		return
+	}
+	if v.live == nil {
+		if id < v.n {
+			return // known peer: stamp untouched
+		}
+		if v.denseMark(id, now) {
+			return
+		}
+		v.materialize()
+	}
+	if !v.live[id] {
 		v.live[id] = true
 		v.n++
 		if now > v.heard[id] {
@@ -274,14 +350,35 @@ func (v *View) Introduce(id int, now int64) {
 // Remove drops id from the view (a leave announcement, or local
 // bookkeeping by a driver).
 func (v *View) Remove(id int) {
-	if id >= 0 && id < len(v.live) && v.live[id] {
+	if id < 0 || id >= v.maxN {
+		return
+	}
+	if v.live == nil {
+		if id >= v.n {
+			return
+		}
+		if id == v.n-1 { // shrinking the dense prefix stays dense
+			v.n--
+			return
+		}
+		v.materialize()
+	}
+	if v.live[id] {
 		v.live[id] = false
 		v.n--
 	}
 }
 
 // Live reports whether id is in the view.
-func (v *View) Live(id int) bool { return id >= 0 && id < len(v.live) && v.live[id] }
+func (v *View) Live(id int) bool {
+	if id < 0 || id >= v.maxN {
+		return false
+	}
+	if v.live == nil {
+		return id < v.n
+	}
+	return v.live[id]
+}
 
 // LiveCount is the number of nodes in the view, including self.
 func (v *View) LiveCount() int { return v.n }
@@ -292,7 +389,14 @@ func (v *View) Eligible(id int, now int64) bool {
 	if !v.Live(id) {
 		return false
 	}
-	return id == v.self || v.SuspectAfter == 0 || now-v.heard[id] <= v.SuspectAfter
+	if id == v.self || v.SuspectAfter == 0 {
+		return true
+	}
+	heard := v.stamp
+	if v.heard != nil {
+		heard = v.heard[id]
+	}
+	return now-heard <= v.SuspectAfter
 }
 
 // Pick draws a uniformly random live peer other than self, or -1 when
@@ -321,6 +425,14 @@ func (v *View) Pick(rng *rand.Rand, _ int64) int {
 		return -1
 	}
 	r := rng.Intn(peers)
+	if v.live == nil {
+		// Dense: live ids are 0..n-1 ascending; skipping self is the
+		// static mapping in closed form, O(1) instead of a scan.
+		if v.self < v.n && r >= v.self {
+			r++
+		}
+		return r
+	}
 	for id := range v.live {
 		if id != v.self && v.live[id] {
 			if r == 0 {
@@ -335,6 +447,12 @@ func (v *View) Pick(rng *rand.Rand, _ int64) int {
 // AppendPeers appends the view's live ids (including self) to dst for
 // a hello body, reusing dst's capacity.
 func (v *View) AppendPeers(dst []uint32) []uint32 {
+	if v.live == nil {
+		for id := 0; id < v.n; id++ {
+			dst = append(dst, uint32(id))
+		}
+		return dst
+	}
 	for id, l := range v.live {
 		if l {
 			dst = append(dst, uint32(id))

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/gf"
 	"repro/internal/rlnc"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/wire"
@@ -80,6 +81,15 @@ type Config struct {
 	// Lockstep runs the deterministic single-threaded driver instead of
 	// goroutines.
 	Lockstep bool
+	// Shards splits the lockstep driver's per-node phases (sample,
+	// drain, emit) across that many worker goroutines over contiguous
+	// node-id ranges, with a serial exchange barrier replaying each
+	// shard's emissions in id order so the transcript stays bit-identical
+	// to the serial driver for every shard count (see outbox.go and
+	// DESIGN.md "Sharded lockstep engine"). 0 and 1 both mean the serial
+	// engine; >1 requires Lockstep — the async driver is already
+	// concurrent.
+	Shards int
 	// MaxTicks caps a lockstep run (default 20000).
 	MaxTicks int
 	// Churn optionally scripts dynamic membership: node joins, graceful
@@ -121,6 +131,13 @@ func (c Config) timeout() time.Duration {
 		return c.Timeout
 	}
 	return 30 * time.Second
+}
+
+func (c Config) shards() int {
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
 }
 
 func (c Config) maxTicks() int {
@@ -223,6 +240,28 @@ func (r *Result) DoneTimes() []float64 {
 // member may additionally address one hello to the same inbox in a
 // tick (join/leave bursts and the nothing-to-say announcement).
 func InboxBuffer(n, fanout int) int { return n*fanout + 1 }
+
+// LargeClusterNodes is the id-space size above which the drivers stop
+// sizing default inboxes by the overflow-proof InboxBuffer bound: that
+// bound is O(n) slots per node — O(n²) total — which at n=100k would
+// cost hundreds of gigabytes for buffers that are virtually all empty.
+const LargeClusterNodes = 4096
+
+// DefaultInboxBuffer is the inbox sizing the drivers (and the CLIs'
+// buffer auto-sizing) use when no explicit buffer is given: the exact
+// InboxBuffer bound below LargeClusterNodes, capped at a constant slot
+// count above it. Past the cap an overflow is possible in principle
+// but the per-tick arrivals at one inbox are Binomial(n·fanout, 1/n) —
+// mean fanout — so the tail beyond 64·(fanout+1) slots is vanishingly
+// small; if it ever hits, it is a deterministic, counted Dropped, not
+// an error.
+func DefaultInboxBuffer(n, fanout int) int {
+	full := InboxBuffer(n, fanout)
+	if capped := 64 * (fanout + 1); n >= LargeClusterNodes && capped < full {
+		return capped
+	}
+	return full
+}
 
 // gossiper is the per-node protocol state shared by both modes.
 type gossiper interface {
@@ -397,6 +436,9 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 	if err := cfg.Churn.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	if cfg.Shards > 1 && !cfg.Lockstep {
+		return nil, fmt.Errorf("cluster: Shards=%d requires Lockstep (the async driver is already concurrent)", cfg.Shards)
+	}
 
 	maxN := cfg.maxNodes()
 	fanout := cfg.fanout()
@@ -406,7 +448,7 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 		if cfg.Churn != nil {
 			extra = 1 // hello headroom; see InboxBuffer
 		}
-		tr = NewChanTransport(maxN, InboxBuffer(maxN, fanout+extra))
+		tr = NewChanTransport(maxN, DefaultInboxBuffer(maxN, fanout+extra))
 	}
 	defer tr.Close()
 
@@ -425,6 +467,15 @@ func Run(ctx context.Context, cfg Config, toks []token.Token) (*Result, error) {
 	if cfg.Churn.HasTargeted() {
 		cr.ranks = make([]atomic.Int64, maxN)
 		cr.ch.SetRank(func(id int) int { return int(cr.ranks[id].Load()) })
+	}
+	if cfg.Lockstep {
+		cr.exec = shard.New(maxN, cfg.shards())
+		if cr.exec.Shards() > 1 {
+			cr.outs = make([]*Outbox, cr.exec.Shards())
+			for i := range cr.outs {
+				cr.outs[i] = &Outbox{}
+			}
+		}
 	}
 	for i := 0; i < cfg.N; i++ {
 		cr.live[i] = true
@@ -500,6 +551,11 @@ type member struct {
 	// rank, when non-nil, publishes the node's decoding progress for
 	// the targeted-crash oracle after every innovative receipt.
 	rank *atomic.Int64
+	// out, when non-nil, routes this node's emissions into its shard's
+	// private outbox instead of the transport; the sharded lockstep
+	// barrier replays them serially (see outbox.go). Nil on the async
+	// and shards=1 paths, which send inline.
+	out *Outbox
 }
 
 // pick samples a live peer for an emission. With a known gate it
@@ -540,6 +596,12 @@ type clusterRun struct {
 	// controller runs on its own goroutine. Nil unless the schedule
 	// HasTargeted, so untargeted runs pay nothing.
 	ranks []atomic.Int64
+	// exec partitions the id space for the lockstep driver's parallel
+	// phases (nil in async mode); outs holds one private outbox per
+	// shard, nil when exec has a single shard (serial engine, inline
+	// sends).
+	exec *shard.Executor
+	outs []*Outbox
 }
 
 // newMember builds one node's full runtime state independent of any
@@ -594,6 +656,9 @@ func (cr *clusterRun) spawn(id int, seedTokens bool, now int64) *member {
 	if cr.ranks != nil {
 		mb.rank = &cr.ranks[id]
 		mb.rank.Store(int64(mb.g.progress()))
+	}
+	if cr.outs != nil {
+		mb.out = cr.outs[cr.exec.ShardOf(id)]
 	}
 	cr.members[id] = mb
 	return mb
@@ -672,8 +737,16 @@ func (mb *member) emit(tr Transport, fanout int, now int64, churn bool) {
 		mb.m.PacketsOut++
 		bits := int64(mb.io.tx.Bits())
 		mb.m.BitsOut += bits
-		mb.tel.Event(mb.id, now, telemetry.KindSend, int64(peer), int64(mb.io.tx.Env.Epoch), bits)
 		buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
+		if mb.out != nil {
+			// Sharded emit phase: counters and bytes are per-node state,
+			// captured here in parallel; the Send and its telemetry happen
+			// at the serial barrier, in the serial driver's order.
+			mb.out.Add(OutEntry{From: mb.id, To: peer, Kind: OutData,
+				Arg: int64(mb.io.tx.Env.Epoch), Bits: bits, Buf: buf})
+			continue
+		}
+		mb.tel.Event(mb.id, now, telemetry.KindSend, int64(peer), int64(mb.io.tx.Env.Epoch), bits)
 		if !tr.Send(mb.id, peer, buf) {
 			mb.m.Dropped++
 			mb.tel.Event(mb.id, now, telemetry.KindDrop, int64(peer), 0, 0)
@@ -709,8 +782,12 @@ func (mb *member) sendHello(tr Transport, peer int, now int64) {
 	if mb.io.tx.Hello.Leaving {
 		leaving = 1
 	}
-	mb.tel.Event(mb.id, now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	buf := mb.io.tx.AppendTo(mb.io.ring.Get()[:0])
+	if mb.out != nil {
+		mb.out.Add(OutEntry{From: mb.id, To: peer, Kind: OutHello, Arg: leaving, Buf: buf})
+		return
+	}
+	mb.tel.Event(mb.id, now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	if !tr.Send(mb.id, peer, buf) {
 		mb.m.Dropped++
 		mb.tel.Event(mb.id, now, telemetry.KindDrop, int64(peer), 0, 0)
@@ -720,7 +797,16 @@ func (mb *member) sendHello(tr Transport, peer int, now int64) {
 
 // helloAll announces to every peer currently in the view: the
 // join/restart introduction burst, or the graceful-leave goodbye.
+//
+// It always sends inline, even on a sharded run: helloAll only runs
+// from the serial churn phase (lockstep) or the async drivers, and the
+// serial engine delivers churn-phase hellos to inboxes drained the
+// same tick — routing them through the shard outbox would defer them
+// past the drain and change the transcript.
 func (mb *member) helloAll(tr Transport, leaving bool, now int64) {
+	out := mb.out
+	mb.out = nil
+	defer func() { mb.out = out }()
 	mb.buildHello(leaving)
 	for _, pid := range mb.io.tx.Hello.Peers {
 		if int(pid) != mb.id {
@@ -765,6 +851,15 @@ func (cr *clusterRun) applyLockstep(op ChurnOp, tick int) {
 // function of the seed; context cancellation (checked once per tick)
 // only ever cuts a run short, it cannot change the ticks that did
 // execute.
+//
+// With Config.Shards > 1 the per-node phases (telemetry sampling,
+// inbox drain, emission) fan out across cr.exec's workers — each
+// touches only state owned by its id range — while everything
+// order-sensitive stays serial at the barriers: tick observation,
+// churn, the completion scan, and the outbox replay that performs the
+// actual Sends in ascending id order (see outbox.go). The phase
+// boundaries are identical at every shard count, which is what the
+// bit-equality property tests pin.
 func (cr *clusterRun) runLockstep(ctx context.Context) {
 	cfg, res := cr.cfg, cr.res
 	complete := func(tick int) bool {
@@ -799,45 +894,77 @@ func (cr *clusterRun) runLockstep(ctx context.Context) {
 		for _, op := range cr.ch.PopUntil(tick, cr.live) {
 			cr.applyLockstep(op, tick)
 		}
-		if cr.cfg.Telemetry != nil {
-			// Sample before the drain so inbox depth shows the backlog
-			// queued by the previous emit phase.
-			for id, mb := range cr.members {
-				if mb != nil && cr.live[id] {
-					cr.cfg.Telemetry.SampleTick(id, int64(tick),
-						mb.g.progress(), 0, len(cr.tr.Recv(id)), mb.view.LiveCount())
-				}
-			}
-		}
-		for id, mb := range cr.members {
-			if mb == nil || !cr.live[id] {
-				continue
-			}
-			m := &res.Nodes[id]
-			inbox := cr.tr.Recv(id)
-			for drained := false; !drained; {
-				select {
-				case raw := <-inbox:
-					if mb.recv(raw, int64(tick)) {
-						m.Innovative++
+		cr.exec.Run(func(_, lo, hi int) {
+			if cr.cfg.Telemetry != nil {
+				// Sample before the drain so inbox depth shows the backlog
+				// queued by the previous emit phase.
+				for id := lo; id < hi; id++ {
+					if mb := cr.members[id]; mb != nil && cr.live[id] {
+						cr.cfg.Telemetry.SampleTick(id, int64(tick),
+							mb.g.progress(), 0, len(cr.tr.Recv(id)), mb.view.LiveCount())
 					}
-				default:
-					drained = true
 				}
 			}
-		}
+			for id := lo; id < hi; id++ {
+				mb := cr.members[id]
+				if mb == nil || !cr.live[id] {
+					continue
+				}
+				m := &res.Nodes[id]
+				inbox := cr.tr.Recv(id)
+				for drained := false; !drained; {
+					select {
+					case raw := <-inbox:
+						if mb.recv(raw, int64(tick)) {
+							m.Innovative++
+						}
+					default:
+						drained = true
+					}
+				}
+			}
+		})
 		if complete(tick) {
 			res.Completed = true
 			res.Ticks = tick
 			return
 		}
-		for id, mb := range cr.members {
-			if mb != nil && cr.live[id] {
-				mb.emit(cr.tr, cr.fanout, int64(tick), cr.ch != nil)
+		cr.exec.Run(func(_, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if mb := cr.members[id]; mb != nil && cr.live[id] {
+					mb.emit(cr.tr, cr.fanout, int64(tick), cr.ch != nil)
+				}
 			}
-		}
+		})
+		cr.flushOutboxes(int64(tick))
 	}
 	res.Ticks = cfg.maxTicks()
+}
+
+// flushOutboxes is the exchange barrier of a sharded tick: it replays
+// every shard's deferred emissions against the real transport in
+// (shard, node id, emission order) order — ascending node id, exactly
+// the serial driver's send order — performing the middleware-visible
+// Send, the send/drop telemetry, and the drop accounting that could
+// not run in parallel. A no-op on the serial engine (outs is nil).
+func (cr *clusterRun) flushOutboxes(now int64) {
+	for _, ob := range cr.outs {
+		for _, e := range ob.Entries() {
+			mb := cr.members[e.From]
+			switch e.Kind {
+			case OutData:
+				mb.tel.Event(e.From, now, telemetry.KindSend, int64(e.To), e.Arg, e.Bits)
+			case OutHello:
+				mb.tel.Event(e.From, now, telemetry.KindSendHello, int64(e.To), e.Arg, 0)
+			}
+			if !cr.tr.Send(e.From, e.To, e.Buf) {
+				mb.m.Dropped++
+				mb.tel.Event(e.From, now, telemetry.KindDrop, int64(e.To), 0, 0)
+				mb.io.ring.Put(e.Buf)
+			}
+		}
+		ob.Reset()
+	}
 }
 
 // batchAdds reports whether a popped churn batch contains any

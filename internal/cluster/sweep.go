@@ -20,6 +20,10 @@ type SweepParams struct {
 	// MaxTicks caps the run (default 200000 — sweeps visit hostile
 	// corners the default one-shot cap is too tight for).
 	MaxTicks int
+	// Shards is the sharded-lockstep worker count (0/1 = serial engine).
+	// Transcripts are shard-count invariant, so this is a pure
+	// performance axis.
+	Shards int
 }
 
 // SweepRun executes one deterministic lockstep cluster run for a sweep
@@ -39,6 +43,7 @@ func SweepRun(p SweepParams) (*Result, error) {
 	toks := token.RandomSet(p.K, p.PayloadBits, rand.New(rand.NewSource(p.Seed)))
 	return Run(context.Background(), Config{
 		N: p.N, Fanout: p.Fanout, Mode: Coded, Seed: p.Seed,
-		Transport: tr, Lockstep: true, MaxTicks: maxTicks, Churn: p.Churn,
+		Transport: tr, Lockstep: true, Shards: p.Shards,
+		MaxTicks: maxTicks, Churn: p.Churn,
 	}, toks)
 }

@@ -1,0 +1,164 @@
+package dynnet
+
+// Bit-equality of the sharded synchronous engine against the serial
+// one. The engine's parallel phases (Send collection, Receive
+// delivery) only ever touch per-node state, the adversary and the
+// metrics reduction stay serial, so a sharded round must be
+// observationally identical — including error-path metrics, which the
+// serial engine truncates at the offending node.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// gossipNode is a deterministic per-node-rng protocol rich enough to
+// expose ordering bugs: each node accumulates the ids it has heard,
+// broadcasts a variable-size digest whose bits depend on its private
+// rng stream, and terminates once it has heard everyone or its round
+// budget expires.
+type gossipNode struct {
+	id     int
+	n      int
+	rng    *rand.Rand
+	heard  map[int]bool
+	rounds int
+	life   int
+	bits   int64 // total bits this node broadcast (fingerprinted)
+}
+
+type gossipMsg struct {
+	from int
+	ids  []int
+	size int
+}
+
+func (m *gossipMsg) Bits() int { return m.size }
+
+func (g *gossipNode) Send(round int) Message {
+	if g.rng.Intn(8) == 0 {
+		return nil // occasionally silent, sequenced by the private rng
+	}
+	ids := make([]int, 0, len(g.heard))
+	for id := range g.heard {
+		ids = append(ids, id)
+	}
+	size := 8 + g.rng.Intn(8) + len(ids)
+	g.bits += int64(size)
+	return &gossipMsg{from: g.id, ids: ids, size: size}
+}
+
+func (g *gossipNode) Receive(round int, msgs []Message) {
+	for _, m := range msgs {
+		gm := m.(*gossipMsg)
+		g.heard[gm.from] = true
+		for _, id := range gm.ids {
+			g.heard[id] = true
+		}
+	}
+	g.rounds++
+}
+
+func (g *gossipNode) Done() bool {
+	return g.rounds >= g.life || len(g.heard) == g.n
+}
+
+// roundAdv serves a different deterministic connected topology each
+// round, cycling shapes so neighbourhoods keep changing.
+type roundAdv struct{ n int }
+
+func (a roundAdv) Graph(round int, _ []Node) *graph.Graph {
+	switch round % 3 {
+	case 0:
+		return graph.Cycle(a.n)
+	case 1:
+		return graph.Path(a.n)
+	default:
+		return graph.Star(a.n)
+	}
+}
+
+// engineFingerprint runs the gossip protocol at the given shard count
+// and flattens metrics plus every node's end state into a string.
+func engineFingerprint(t *testing.T, seed int64, n, shards int) string {
+	t.Helper()
+	nodes := make([]Node, n)
+	impls := make([]*gossipNode, n)
+	for i := range nodes {
+		impls[i] = &gossipNode{
+			id: i, n: n, life: 4 * n,
+			rng:   rand.New(rand.NewSource(seed + 31*int64(i))),
+			heard: map[int]bool{i: true},
+		}
+		nodes[i] = impls[i]
+	}
+	e := NewEngine(nodes, roundAdv{n: n}, Config{
+		BitBudget: 64 + n, ValidateConnectivity: true, Shards: shards,
+	})
+	rounds, err := e.Run()
+	if err != nil {
+		t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+	}
+	m := e.Metrics()
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d msgs=%d bits=%d max=%d\n", rounds, m.Messages, m.Bits, m.MaxMessageBits)
+	for i, g := range impls {
+		fmt.Fprintf(&b, "node %d: heard=%d rounds=%d bits=%d done=%v\n",
+			i, len(g.heard), g.rounds, g.bits, g.Done())
+	}
+	return b.String()
+}
+
+// TestShardedEngineBitIdentical checks serial-vs-sharded equality of
+// the full observable run state across seeds and shard counts,
+// including ragged partitions.
+func TestShardedEngineBitIdentical(t *testing.T) {
+	const n = 13
+	counts := []int{3, 4, n, runtime.GOMAXPROCS(0)}
+	for seed := int64(1); seed <= 5; seed++ {
+		serial := engineFingerprint(t, seed, n, 1)
+		for _, shards := range counts {
+			if got := engineFingerprint(t, seed, n, shards); got != serial {
+				t.Fatalf("seed %d shards %d diverges:\n--- serial ---\n%s--- shards=%d ---\n%s",
+					seed, shards, serial, shards, got)
+			}
+		}
+	}
+}
+
+// TestShardedBudgetErrorMatchesSerial pins the error path: when a node
+// overruns the budget, the sharded engine must report the same node
+// and charge exactly the metrics the serial loop would have charged —
+// nodes before the offender counted, nodes after it not.
+func TestShardedBudgetErrorMatchesSerial(t *testing.T) {
+	mk := func(shards int) (*Engine, error) {
+		nodes := []Node{
+			&fixedSender{size: 5, life: 3},
+			&fixedSender{size: 5, life: 3},
+			&fixedSender{size: 100, life: 3}, // offender at index 2
+			&fixedSender{size: 5, life: 3},
+		}
+		e := NewEngine(nodes, staticAdv{g: graph.Path(4)}, Config{BitBudget: 50, Shards: shards})
+		_, err := e.Run()
+		return e, err
+	}
+	serial, serr := mk(1)
+	for _, shards := range []int{2, 4} {
+		e, err := mk(shards)
+		if !errors.Is(err, ErrBudgetExceeded) || !strings.Contains(err.Error(), "node 2") {
+			t.Fatalf("shards=%d: err = %v", shards, err)
+		}
+		if !errors.Is(serr, ErrBudgetExceeded) {
+			t.Fatalf("serial err = %v", serr)
+		}
+		if e.Metrics() != serial.Metrics() {
+			t.Errorf("shards=%d error-path metrics %+v, serial %+v", shards, e.Metrics(), serial.Metrics())
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -130,8 +131,9 @@ func TestClusterSurvivesRotatingPathAdversary(t *testing.T) {
 
 // hostileClusterFingerprint runs the full stack — loss, every mutation
 // op, the adaptive adversary, targeted churn — under the lockstep
-// driver and fingerprints everything observable.
-func hostileClusterFingerprint(t *testing.T, seed int64) string {
+// driver at the given shard count and fingerprints everything
+// observable.
+func hostileClusterFingerprint(t *testing.T, seed int64, shards int) string {
 	t.Helper()
 	const n, k = 10, 8
 	sched, err := cluster.ParseChurn("crashmax:30:1,restart:70:1")
@@ -146,7 +148,7 @@ func hostileClusterFingerprint(t *testing.T, seed int64) string {
 	tr = hostile.WithAdversary(tr, hostile.NewAdaptive(n, seed+104, rec), hostile.TopoConfig{Telemetry: rec})
 	res, err := cluster.Run(context.Background(), cluster.Config{
 		N: n, Fanout: 2, Mode: cluster.Coded, Seed: seed, Transport: tr,
-		Lockstep: true, MaxTicks: 200000, Churn: sched, Telemetry: rec,
+		Lockstep: true, Shards: shards, MaxTicks: 200000, Churn: sched, Telemetry: rec,
 	}, toks)
 	if err != nil {
 		t.Fatal(err)
@@ -173,8 +175,8 @@ func TestHostileLockstepBitReproducible(t *testing.T) {
 	seeds := []int64{3, 17}
 	prints := make(map[int64]string)
 	for _, seed := range seeds {
-		first := hostileClusterFingerprint(t, seed)
-		second := hostileClusterFingerprint(t, seed)
+		first := hostileClusterFingerprint(t, seed, 1)
+		second := hostileClusterFingerprint(t, seed, 1)
 		if first != second {
 			t.Fatalf("seed %d not reproducible:\n  %s\n  %s", seed, first, second)
 		}
@@ -182,5 +184,22 @@ func TestHostileLockstepBitReproducible(t *testing.T) {
 	}
 	if prints[seeds[0]] == prints[seeds[1]] {
 		t.Errorf("different seeds produced identical runs (%s): the stack ignores the seed", prints[seeds[0]])
+	}
+}
+
+// TestHostileShardedBitIdentical runs the full hostile stack — loss,
+// every mutation op, the adaptive adversary, targeted churn — under
+// the sharded lockstep engine and checks the transcript is
+// byte-identical to serial at every shard count. The adversary and
+// mutator draw from middleware rngs in Send-call order, so this is the
+// strictest ordering test the sharding refactor faces.
+func TestHostileShardedBitIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		serial := hostileClusterFingerprint(t, seed, 1)
+		for _, shards := range []int{4, runtime.GOMAXPROCS(0)} {
+			if got := hostileClusterFingerprint(t, seed, shards); got != serial {
+				t.Errorf("seed %d shards %d diverges:\n  serial: %s\n  sharded: %s", seed, shards, serial, got)
+			}
+		}
 	}
 }

@@ -29,10 +29,17 @@ type Measurement struct {
 // is not charged to fn. fn's error passes through with the (partial)
 // measurement.
 //
-// Allocation deltas are exact only when nothing else allocates
-// concurrently — callers should measure single-threaded (lockstep)
-// runs, which is also what makes the figures reproducible functions of
-// the seed.
+// Measure snapshots the runtime stats exactly once, around the whole
+// run — never per worker — so a run that fans out across goroutines
+// (the sharded lockstep engine, the async runtime) is charged exactly
+// once for everything its workers allocate. For such multi-worker runs
+// the deltas are process-global: they include every goroutine that
+// allocated during the bracket, so they are an upper bound on the
+// run's own cost, exact when nothing else in the process allocates
+// concurrently. HeapHighWater keeps the same meaning at any worker
+// count — live heap plus uncollected garbage at run end — which is
+// what the large-n memory smokes pin. Single-threaded (serial
+// lockstep) runs remain the exact, seed-reproducible case.
 func Measure(fn func() error) (Measurement, error) {
 	runtime.GC()
 	var before, after runtime.MemStats

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -27,11 +28,22 @@ type streamRun struct {
 	// atomically when selecting victims. Nil unless the schedule
 	// HasTargeted.
 	ranks []atomic.Int64
+	// exec partitions the id space for the lockstep driver's parallel
+	// phases (nil in async mode); outs holds one private outbox per
+	// shard, nil when exec has a single shard (serial engine, inline
+	// sends). See cluster.Outbox for the merge-order contract.
+	exec *shard.Executor
+	outs []*cluster.Outbox
 }
 
-// attachRank points nd at its slot of the targeted-crash scoreboard
-// (a no-op in untargeted runs) and publishes its current watermark.
-func (sr *streamRun) attachRank(nd *node) {
+// attach wires nd into the run's shared machinery: its slot of the
+// targeted-crash scoreboard (a no-op in untargeted runs, publishing
+// the current watermark otherwise) and its shard's outbox on sharded
+// lockstep runs.
+func (sr *streamRun) attach(nd *node) {
+	if sr.outs != nil {
+		nd.out = sr.outs[sr.exec.ShardOf(nd.id)]
+	}
 	if sr.ranks == nil {
 		return
 	}
@@ -56,7 +68,7 @@ func (sr *streamRun) applyLockstep(op cluster.ChurnOp, tick int) {
 	switch op.Kind {
 	case cluster.ChurnJoin, cluster.ChurnRejoin:
 		nd := newNode(op.ID, sr.cfg, sr.src, m, sr.live, int64(tick), true)
-		sr.attachRank(nd)
+		sr.attach(nd)
 		sr.nodes[op.ID] = nd
 		m.Done = false
 		m.DoneTick = 0
@@ -137,31 +149,34 @@ func (sr *streamRun) runLockstep(ctx context.Context) error {
 		for _, op := range sr.ch.PopUntil(tick, sr.live) {
 			sr.applyLockstep(op, tick)
 		}
-		if sr.cfg.Telemetry != nil {
-			// Sample before the drain so inbox depth shows the backlog
-			// queued by the previous emit phase.
-			for id, nd := range sr.nodes {
-				if nd != nil && sr.live[id] {
-					nd.now = int64(tick)
-					nd.sample(sr.tr)
+		sr.exec.Run(func(_, lo, hi int) {
+			if sr.cfg.Telemetry != nil {
+				// Sample before the drain so inbox depth shows the backlog
+				// queued by the previous emit phase.
+				for id := lo; id < hi; id++ {
+					if nd := sr.nodes[id]; nd != nil && sr.live[id] {
+						nd.now = int64(tick)
+						nd.sample(sr.tr)
+					}
 				}
 			}
-		}
-		for id, nd := range sr.nodes {
-			if nd == nil || !sr.live[id] {
-				continue
-			}
-			nd.now = int64(tick)
-			inbox := sr.tr.Recv(id)
-			for drained := false; !drained; {
-				select {
-				case raw := <-inbox:
-					nd.recv(raw)
-				default:
-					drained = true
+			for id := lo; id < hi; id++ {
+				nd := sr.nodes[id]
+				if nd == nil || !sr.live[id] {
+					continue
+				}
+				nd.now = int64(tick)
+				inbox := sr.tr.Recv(id)
+				for drained := false; !drained; {
+					select {
+					case raw := <-inbox:
+						nd.recv(raw)
+					default:
+						drained = true
+					}
 				}
 			}
-		}
+		})
 		if err := sr.firstErr(); err != nil {
 			return err
 		}
@@ -170,20 +185,52 @@ func (sr *streamRun) runLockstep(ctx context.Context) error {
 			res.Ticks = tick
 			return nil
 		}
-		for id, nd := range sr.nodes {
-			if nd == nil || !sr.live[id] {
-				continue
+		sr.exec.Run(func(_, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				nd := sr.nodes[id]
+				if nd == nil || !sr.live[id] {
+					continue
+				}
+				nd.adoptOrphans()
+				nd.pushData(sr.tr)
+				nd.pushAck(sr.tr)
 			}
-			nd.adoptOrphans()
-			nd.pushData(sr.tr)
-			nd.pushAck(sr.tr)
-		}
+		})
+		sr.flushOutboxes()
 		if err := sr.firstErr(); err != nil {
 			return err
 		}
 	}
 	res.Ticks = cfg.maxTicks()
 	return nil
+}
+
+// flushOutboxes is the exchange barrier of a sharded tick: it replays
+// every shard's deferred emissions against the real transport in
+// (shard, node id, emission order) order — ascending node id, exactly
+// the serial driver's send order — performing the middleware-visible
+// Send, the send/drop telemetry, and the drop accounting that could
+// not run in parallel. A no-op on the serial engine (outs is nil).
+func (sr *streamRun) flushOutboxes() {
+	for _, ob := range sr.outs {
+		for _, e := range ob.Entries() {
+			nd := sr.nodes[e.From]
+			switch e.Kind {
+			case cluster.OutData:
+				nd.tel.Event(e.From, nd.now, telemetry.KindSend, int64(e.To), e.Arg, e.Bits)
+			case cluster.OutAck:
+				nd.tel.Event(e.From, nd.now, telemetry.KindSendAck, int64(e.To), e.Arg, 0)
+			case cluster.OutHello:
+				nd.tel.Event(e.From, nd.now, telemetry.KindSendHello, int64(e.To), e.Arg, 0)
+			}
+			if !sr.tr.Send(e.From, e.To, e.Buf) {
+				nd.m.Dropped++
+				nd.tel.Event(e.From, nd.now, telemetry.KindDrop, int64(e.To), 0, 0)
+				nd.ring.Put(e.Buf)
+			}
+		}
+		ob.Reset()
+	}
 }
 
 // batchAdds reports whether a popped churn batch contains any
@@ -375,7 +422,7 @@ func (sr *streamRun) runAsync(ctx context.Context, start time.Time) error {
 					case cluster.ChurnJoin, cluster.ChurnRejoin:
 						tk.mu.Lock()
 						sr.nodes[op.ID] = newNode(op.ID, cfg, sr.src, m, tk.live, int64(time.Since(start)), true)
-						sr.attachRank(sr.nodes[op.ID])
+						sr.attach(sr.nodes[op.ID])
 						m.Done = false
 						m.JoinAt = time.Since(start)
 						tk.mu.Unlock()

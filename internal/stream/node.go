@@ -142,6 +142,14 @@ type node struct {
 	// rank, when non-nil, publishes the node's delivery watermark for
 	// the targeted-crash oracle (crashfrontier kills the straggler).
 	rank *atomic.Int64
+
+	// out, when non-nil, routes this node's emissions into its shard's
+	// private outbox instead of the transport: the sharded lockstep
+	// driver replays outboxes serially at the tick's exchange barrier so
+	// middleware rng draws happen in serial-driver order. Cleared
+	// around churn-phase helloAll, whose sends must land inline (the
+	// serial driver drains them the same tick).
+	out *cluster.Outbox
 }
 
 // newNode builds the runtime state for one node. live is the current
@@ -554,8 +562,12 @@ func (nd *node) serveCatchup(tr cluster.Transport) {
 			nd.m.PacketsOut++
 			bits := int64(nd.tx.Bits())
 			nd.m.BitsOut += bits
-			nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(rq.peer), int64(rq.gen), bits)
 			buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+			if nd.out != nil {
+				nd.out.Add(cluster.OutEntry{From: nd.id, To: rq.peer, Kind: cluster.OutData, Arg: int64(rq.gen), Bits: bits, Buf: buf})
+				continue
+			}
+			nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(rq.peer), int64(rq.gen), bits)
 			if !tr.Send(nd.id, rq.peer, buf) {
 				nd.m.Dropped++
 				nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(rq.peer), 0, 0)
@@ -793,8 +805,12 @@ func (nd *node) pushData(tr cluster.Transport) {
 		nd.m.PacketsOut++
 		bits := int64(nd.tx.Bits())
 		nd.m.BitsOut += bits
-		nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(peer), int64(nd.tx.Env.Epoch), bits)
 		buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+		if nd.out != nil {
+			nd.out.Add(cluster.OutEntry{From: nd.id, To: peer, Kind: cluster.OutData, Arg: int64(nd.tx.Env.Epoch), Bits: bits, Buf: buf})
+			continue
+		}
+		nd.tel.Event(nd.id, nd.now, telemetry.KindSend, int64(peer), int64(nd.tx.Env.Epoch), bits)
 		if !tr.Send(nd.id, peer, buf) {
 			nd.m.Dropped++
 			nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
@@ -822,8 +838,12 @@ func (nd *node) pushAck(tr cluster.Transport) {
 	}
 	nd.m.AcksOut++
 	nd.m.BitsOut += int64(nd.tx.Bits())
-	nd.tel.Event(nd.id, nd.now, telemetry.KindSendAck, int64(peer), int64(nd.delivered), 0)
 	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+	if nd.out != nil {
+		nd.out.Add(cluster.OutEntry{From: nd.id, To: peer, Kind: cluster.OutAck, Arg: int64(nd.delivered), Buf: buf})
+		return
+	}
+	nd.tel.Event(nd.id, nd.now, telemetry.KindSendAck, int64(peer), int64(nd.delivered), 0)
 	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
 		nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
@@ -847,8 +867,12 @@ func (nd *node) sendHello(tr cluster.Transport, peer int) {
 	if nd.tx.Hello.Leaving {
 		leaving = 1
 	}
-	nd.tel.Event(nd.id, nd.now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	buf := nd.tx.AppendTo(nd.ring.Get()[:0])
+	if nd.out != nil {
+		nd.out.Add(cluster.OutEntry{From: nd.id, To: peer, Kind: cluster.OutHello, Arg: leaving, Buf: buf})
+		return
+	}
+	nd.tel.Event(nd.id, nd.now, telemetry.KindSendHello, int64(peer), leaving, 0)
 	if !tr.Send(nd.id, peer, buf) {
 		nd.m.Dropped++
 		nd.tel.Event(nd.id, nd.now, telemetry.KindDrop, int64(peer), 0, 0)
@@ -880,7 +904,14 @@ func (nd *node) sample(tr cluster.Transport) {
 
 // helloAll announces to every peer currently in the view: the
 // join/restart introduction burst, or the graceful-leave goodbye.
+// Churn-phase hellos bypass the shard outbox and send inline: the
+// serial driver delivers them to inboxes drained the same tick, so
+// deferring them to the exchange barrier would delay delivery a tick
+// and diverge from the serial transcript.
 func (nd *node) helloAll(tr cluster.Transport, leaving bool) {
+	out := nd.out
+	nd.out = nil
+	defer func() { nd.out = out }()
 	nd.buildHello(leaving)
 	for _, pid := range nd.tx.Hello.Peers {
 		if int(pid) != nd.id {

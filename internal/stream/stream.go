@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/wire"
@@ -130,8 +131,10 @@ func (s *seededSource) buildUncached(g int) []token.Token {
 
 // DeliverFunc consumes one decoded generation. Per node, calls arrive
 // strictly in generation order; the token slice is freshly decoded and
-// owned by the callee. In async mode it is called from node goroutines
-// and must be safe for concurrent use.
+// owned by the callee. In async mode — and in lockstep mode with
+// Config.Shards > 1, where the drain phase runs nodes on parallel
+// shard workers — it is called from multiple goroutines and must be
+// safe for concurrent use.
 type DeliverFunc func(node, gen int, toks []token.Token)
 
 // Config parameterizes a streaming run.
@@ -167,6 +170,16 @@ type Config struct {
 	// Lockstep runs the deterministic single-threaded driver instead of
 	// goroutines.
 	Lockstep bool
+	// Shards splits the lockstep driver's per-node phases across that
+	// many workers over contiguous node-id ranges, with a serial
+	// exchange barrier replaying emissions in id order so transcripts
+	// stay bit-identical to the serial driver at every shard count (see
+	// cluster.Outbox and DESIGN.md "Sharded lockstep engine"). 0 and 1
+	// both mean the serial engine; >1 requires Lockstep. On sharded runs
+	// Deliver is called concurrently from shard workers (distinct nodes
+	// only — per-node calls stay strictly ordered) and must be safe for
+	// concurrent use, exactly as in async mode.
+	Shards int
 	// MaxTicks caps a lockstep run (default 20000).
 	MaxTicks int
 	// Interval paces each node's ticker emissions in async mode
@@ -231,6 +244,13 @@ func (c Config) fanout() int {
 	return 2
 }
 
+func (c Config) shards() int {
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
+}
+
 func (c Config) maxTicks() int {
 	if c.MaxTicks > 0 {
 		return c.MaxTicks
@@ -264,6 +284,13 @@ func (c Config) source() Source {
 // node targeting the same inbox with fanout data packets plus one ack
 // each.
 func InboxBuffer(n, fanout int) int { return cluster.InboxBuffer(n, fanout+1) }
+
+// DefaultInboxBuffer is the sizing the driver (and the CLI's buffer
+// auto-sizing) uses when no transport is supplied: the exact
+// InboxBuffer bound below cluster.LargeClusterNodes, capped at a
+// constant slot count above it — see cluster.DefaultInboxBuffer for
+// the overflow analysis.
+func DefaultInboxBuffer(n, fanout int) int { return cluster.DefaultInboxBuffer(n, fanout+1) }
 
 // NodeMetrics are one node's counters for a streaming run.
 type NodeMetrics struct {
@@ -398,6 +425,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Churn.Validate(); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
+	if cfg.Shards > 1 && !cfg.Lockstep {
+		return nil, fmt.Errorf("stream: Shards=%d requires Lockstep (the async driver is already concurrent)", cfg.Shards)
+	}
 
 	src := cfg.source()
 	if toks := src.Generation(0); len(toks) != cfg.K {
@@ -411,7 +441,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if cfg.Churn != nil {
 			extra = 1 // hello headroom; see cluster.InboxBuffer
 		}
-		tr = cluster.NewChanTransport(maxN, InboxBuffer(maxN, cfg.fanout()+extra))
+		tr = cluster.NewChanTransport(maxN, DefaultInboxBuffer(maxN, cfg.fanout()+extra))
 	}
 	defer tr.Close()
 
@@ -430,12 +460,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		sr.ranks = make([]atomic.Int64, maxN)
 		sr.ch.SetRank(func(id int) int { return int(sr.ranks[id].Load()) })
 	}
+	if cfg.Lockstep {
+		sr.exec = shard.New(maxN, cfg.shards())
+		if sr.exec.Shards() > 1 {
+			sr.outs = make([]*cluster.Outbox, sr.exec.Shards())
+			for i := range sr.outs {
+				sr.outs[i] = &cluster.Outbox{}
+			}
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		sr.live[i] = true
 	}
 	for i := 0; i < cfg.N; i++ {
 		sr.nodes[i] = newNode(i, cfg, src, &res.Nodes[i], sr.live, 0, false)
-		sr.attachRank(sr.nodes[i])
+		sr.attach(sr.nodes[i])
 	}
 
 	start := time.Now()

@@ -17,6 +17,10 @@ type SweepParams struct {
 	// MaxTicks caps the run (default 500000, matching the stream
 	// benchmarks).
 	MaxTicks int
+	// Shards is the sharded-lockstep worker count (0/1 = serial engine).
+	// Transcripts are shard-count invariant, so this is a pure
+	// performance axis.
+	Shards int
 }
 
 // SweepRun executes one deterministic lockstep streaming run for a
@@ -35,6 +39,7 @@ func SweepRun(p SweepParams) (*Result, error) {
 	return Run(context.Background(), Config{
 		N: p.N, K: p.K, PayloadBits: p.PayloadBits, Window: p.Window,
 		Generations: p.Generations, Fanout: p.Fanout, Seed: p.Seed,
-		Transport: tr, Lockstep: true, MaxTicks: maxTicks, Churn: p.Churn,
+		Transport: tr, Lockstep: true, Shards: p.Shards,
+		MaxTicks: maxTicks, Churn: p.Churn,
 	})
 }

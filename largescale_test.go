@@ -1,0 +1,55 @@
+//go:build !race
+
+package repro_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/token"
+)
+
+// TestLargeClusterShardedSmoke is the scale gate of the sharded
+// lockstep engine: one n=100k, k=32 coded-gossip run on every core
+// (shards = GOMAXPROCS), completing within a CI-class memory budget.
+// The compact dense membership views and the capped
+// DefaultInboxBuffer are what make the footprint linear in n rather
+// than quadratic; the HeapHighWater pin below is the regression fence
+// for both. Excluded under the race detector (instrumentation
+// multiplies both memory and runtime) and skipped in -short runs.
+func TestLargeClusterShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node smoke skipped in -short mode")
+	}
+	const n, k, payload = 100_000, 32, 32
+	toks := token.RandomSet(k, payload, rand.New(rand.NewSource(1)))
+	var res *cluster.Result
+	m, err := sim.Measure(func() error {
+		var runErr error
+		res, runErr = cluster.Run(context.Background(), cluster.Config{
+			N: n, Fanout: 2, Mode: cluster.Coded, Seed: 1,
+			Lockstep: true, Shards: runtime.GOMAXPROCS(0), MaxTicks: 2000,
+		}, toks)
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("100k-node run incomplete after %d ticks", res.Ticks)
+	}
+	t.Logf("n=%d k=%d shards=%d: %d ticks in %v, heap high-water %d MiB",
+		n, k, runtime.GOMAXPROCS(0), res.Ticks, m.Runtime, m.HeapHighWater>>20)
+	// Peak-memory pin: the run's live heap plus uncollected garbage must
+	// stay under 2 GiB. The dominant terms are the capped inboxes
+	// (n × 64·(fanout+1) slots) and the per-node spans; an O(n²) regression
+	// in either blows through this fence by orders of magnitude.
+	const memBudget = 2 << 30
+	if m.HeapHighWater > memBudget {
+		t.Errorf("heap high-water %d bytes exceeds the %d-byte budget", m.HeapHighWater, memBudget)
+	}
+}
